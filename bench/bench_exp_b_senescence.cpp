@@ -1,0 +1,130 @@
+// EXP-B (paper §5.1.3): the price of the serial test sequencer is
+// senescence — "the minimum time between samples for a given path was now
+// C*S*T, where T is the time it takes to do a single sample for a single
+// path." We run the cycling sequencer over the C*S path matrix, measure
+// the per-path inter-sample interval from tuple timestamps, and compare it
+// with the predicted C*S*T (T measured from a solo calibration run).
+
+#include <cstdio>
+#include <map>
+
+#include "apps/testbed.hpp"
+#include "core/high_fidelity_monitor.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace netmon;
+
+namespace {
+
+core::HighFidelityMonitor::Config probe_config() {
+  core::HighFidelityMonitor::Config cfg;
+  cfg.probe.message_length = 8192;
+  cfg.probe.inter_send = sim::Duration::ms(30);
+  cfg.probe.message_count = 8;  // T ~ 8*30ms + result exchange
+  cfg.max_concurrent = 1;
+  return cfg;
+}
+
+// Measures T: one path, one sample, start to finish.
+double calibrate_T() {
+  sim::Simulator sim;
+  apps::TestbedOptions options;
+  options.servers = 1;
+  options.clients = 1;
+  apps::Testbed bed(sim, options);
+  core::HighFidelityMonitor monitor(bed.network(), probe_config());
+  core::MonitorRequest request;
+  request.paths.push_back(
+      core::PathRequest{bed.path(0, 0), {core::Metric::kThroughput}});
+  double finished = 0.0;
+  monitor.director().submit(request, [&](const core::PathMetricTuple& t) {
+    finished = t.value.measured_at.to_seconds();
+  });
+  sim.run_for(sim::Duration::sec(30));
+  return finished;
+}
+
+struct Row {
+  int paths;
+  double predicted_s;
+  double measured_mean_s;
+  double measured_max_s;
+  double db_senescence_s;
+};
+
+Row run(int clients, int servers, double T) {
+  sim::Simulator sim;
+  apps::TestbedOptions options;
+  options.servers = servers;
+  options.clients = clients;
+  apps::Testbed bed(sim, options);
+  core::HighFidelityMonitor monitor(bed.network(), probe_config());
+
+  core::MonitorRequest request;
+  request.paths = bed.full_matrix({core::Metric::kThroughput});
+  request.mode = core::MonitorRequest::Mode::kContinuous;
+
+  std::map<std::string, double> last_seen;
+  util::Accumulator intervals;
+  double max_interval = 0.0;
+  monitor.director().submit(request, [&](const core::PathMetricTuple& t) {
+    const std::string key = t.path.to_string();
+    const double now = t.value.measured_at.to_seconds();
+    auto it = last_seen.find(key);
+    if (it != last_seen.end()) {
+      const double gap = now - it->second;
+      intervals.add(gap);
+      if (gap > max_interval) max_interval = gap;
+    }
+    last_seen[key] = now;
+  });
+
+  const int n_paths = clients * servers;
+  // Long enough for several full cycles of the matrix.
+  sim.run_for(sim::Duration::seconds(6.0 * n_paths * T + 10.0));
+
+  // Database view of the same thing: age of the newest sample.
+  util::Accumulator db_age;
+  for (int s = 0; s < servers; ++s) {
+    for (int c = 0; c < clients; ++c) {
+      auto age = monitor.database().senescence(
+          bed.path(s, c), core::Metric::kThroughput, sim.now());
+      if (age) db_age.add(age->to_seconds());
+    }
+  }
+  return Row{n_paths, n_paths * T, intervals.mean(), max_interval,
+             db_age.mean()};
+}
+
+}  // namespace
+
+int main() {
+  util::print_banner(
+      "EXP-B: sequenced-monitor senescence = C*S*T (paper §5.1.3)");
+
+  const double T = calibrate_T();
+  std::printf("calibrated single-sample time T = %.3f s "
+              "(burst of 8 messages at P=30 ms + result exchange)\n\n", T);
+
+  util::TextTable table({"paths (C*S)", "predicted C*S*T",
+                         "measured mean inter-sample", "measured max",
+                         "mean db age at end"});
+  struct Case {
+    int c, s;
+  };
+  for (const Case& k : {Case{3, 1}, Case{3, 3}, Case{9, 3}}) {
+    const Row row = run(k.c, k.s, T);
+    table.add_row({std::to_string(row.paths),
+                   util::TextTable::fmt(row.predicted_s, 2) + " s",
+                   util::TextTable::fmt(row.measured_mean_s, 2) + " s",
+                   util::TextTable::fmt(row.measured_max_s, 2) + " s",
+                   util::TextTable::fmt(row.db_senescence_s, 2) + " s"});
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: measured inter-sample interval grows linearly with\n"
+      "the path count and tracks the paper's C*S*T prediction; the parallel\n"
+      "monitor of EXP-A holds it at ~T at 27x the peak overhead.\n");
+  return 0;
+}

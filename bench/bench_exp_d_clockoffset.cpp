@@ -1,0 +1,153 @@
+// EXP-D (paper §5.1.3.2, "Intrusiveness Versus Fidelity Tradeoff"):
+// "It was determined that the overhead of the clock offset calculation was
+// significantly intrusive compared to the overhead of running a clock
+// synchronization protocol (e.g. NTP)."
+//
+// We measure one-way latency on a path between hosts with offset+drifting
+// clocks three ways — no correction, per-sample in-band offset exchange
+// (K-packet sweep), and NTP-synchronized clocks — and report both the
+// latency error against ground truth and the bytes each approach puts on
+// the wire per latency sample.
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/testbed.hpp"
+#include "clock/ntp.hpp"
+#include "nttcp/nttcp.hpp"
+#include "util/table.hpp"
+
+using namespace netmon;
+
+namespace {
+
+constexpr int kSamplesPerRun = 16;
+
+struct Row {
+  std::string method;
+  double latency_ms;
+  double error_ms;      // |measured - ground truth|
+  double bytes_per_sample;
+};
+
+apps::Testbed make_bed(sim::Simulator& sim) {
+  apps::TestbedOptions options;
+  options.servers = 1;
+  options.clients = 1;
+  options.clocks.offset_spread = sim::Duration::ms(25);
+  options.clocks.drift_ppm_spread = 50.0;
+  return apps::Testbed(sim, options);
+}
+
+// Ground truth: same topology, perfect clocks.
+double ground_truth_latency() {
+  sim::Simulator sim;
+  apps::TestbedOptions options;
+  options.servers = 1;
+  options.clients = 1;
+  options.clocks.offset_spread = sim::Duration::ns(0);
+  options.clocks.drift_ppm_spread = 0.0;
+  apps::Testbed bed(sim, options);
+  nttcp::NttcpConfig cfg;
+  cfg.message_count = kSamplesPerRun;
+  cfg.inter_send = sim::Duration::ms(10);
+  double latency = 0.0;
+  nttcp::NttcpProbe probe(bed.server(0), bed.client_ip(0), cfg,
+                          [&](const nttcp::NttcpResult& r) {
+                            latency = r.latency.median();
+                          });
+  probe.start();
+  sim.run_for(sim::Duration::sec(10));
+  return latency;
+}
+
+Row run(const std::string& method, bool in_band, int exchanges, bool use_ntp,
+        double truth_s) {
+  sim::Simulator sim;
+  apps::Testbed bed = make_bed(sim);
+
+  std::unique_ptr<clk::NtpServer> ntp_server;
+  std::vector<std::unique_ptr<clk::NtpClient>> ntp_clients;
+  std::uint64_t ntp_bytes = 0;
+  if (use_ntp) {
+    ntp_server = std::make_unique<clk::NtpServer>(bed.station());
+    for (net::Host* host : {&bed.server(0), &bed.client(0)}) {
+      clk::NtpClient::Config ntp_cfg;
+      ntp_cfg.poll_interval = sim::Duration::sec(16);
+      ntp_clients.push_back(std::make_unique<clk::NtpClient>(
+          *host, bed.station().primary_ip(), ntp_cfg));
+      ntp_clients.back()->start();
+    }
+    sim.run_for(sim::Duration::sec(60));  // let NTP converge
+  }
+
+  nttcp::NttcpConfig cfg;
+  cfg.message_count = kSamplesPerRun;
+  cfg.inter_send = sim::Duration::ms(10);
+  cfg.in_band_offset = in_band;
+  cfg.offset.exchanges = exchanges;
+
+  double latency = 0.0;
+  std::uint64_t probe_bytes = 0;
+  std::uint64_t offset_bytes = 0;
+  const int runs = 4;
+  for (int i = 0; i < runs; ++i) {
+    nttcp::NttcpProbe probe(bed.server(0), bed.client_ip(0), cfg,
+                            [&](const nttcp::NttcpResult& r) {
+                              latency = r.latency.median();
+                              offset_bytes += r.offset_bytes_on_wire;
+                            });
+    probe.start();
+    sim.run_for(sim::Duration::sec(5));
+    (void)probe_bytes;
+  }
+  if (use_ntp) {
+    for (const auto& client : ntp_clients) ntp_bytes += client->bytes_sent();
+    // NTP responses roughly double the client-side figure.
+    ntp_bytes *= 2;
+  }
+
+  Row row;
+  row.method = method;
+  row.latency_ms = latency * 1e3;
+  row.error_ms = std::abs(latency - truth_s) * 1e3;
+  const double samples = static_cast<double>(runs) * kSamplesPerRun;
+  // Correction bytes only — the burst itself is common to all methods.
+  row.bytes_per_sample =
+      (static_cast<double>(offset_bytes) + static_cast<double>(ntp_bytes)) /
+      samples;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  util::print_banner(
+      "EXP-D: in-band clock-offset computation vs NTP (paper §5.1.3.2)");
+  const double truth = ground_truth_latency();
+  std::printf("ground-truth one-way latency (perfect clocks): %.3f ms\n",
+              truth * 1e3);
+  std::printf("host clocks: +-25 ms offset, +-50 ppm drift\n\n");
+
+  util::TextTable table({"method", "measured latency", "|error|",
+                         "correction bytes / latency sample"});
+  auto add = [&](const Row& row) {
+    table.add_row({row.method,
+                   util::TextTable::fmt(row.latency_ms, 3) + " ms",
+                   util::TextTable::fmt(row.error_ms, 3) + " ms",
+                   util::TextTable::fmt(row.bytes_per_sample, 1) + " B"});
+  };
+  add(run("uncorrected clocks", false, 0, false, truth));
+  for (int k : {4, 16, 64}) {
+    add(run("in-band offset, K=" + std::to_string(k), true, k, false, truth));
+  }
+  add(run("NTP-synced clocks (16 s poll)", false, 0, true, truth));
+  table.print();
+
+  std::printf(
+      "\nexpected shape (paper): uncorrected clocks are useless for one-way\n"
+      "latency; the in-band exchange fixes accuracy but costs hundreds of\n"
+      "bytes per sample (and grows with K); NTP amortizes synchronization\n"
+      "across all measurements for a fraction of the per-sample cost.\n");
+  return 0;
+}

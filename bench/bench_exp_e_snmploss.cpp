@@ -1,0 +1,143 @@
+// EXP-E (paper §5.2.4): "During very high load test situations, SNMP
+// requests and responses, including traps, were lost. This was likely due
+// to the SNMP being transported over the unreliable User Datagram Protocol
+// (UDP)."
+//
+// A management station polls an agent and the agent emits periodic traps
+// while background load sweeps the shared Ethernet from idle to beyond
+// saturation. We report poll success (within timeout, no retry), overall
+// success (with one retry), and trap delivery, against segment utilization.
+
+#include <cstdio>
+#include <memory>
+
+#include "apps/testbed.hpp"
+#include "apps/traffic.hpp"
+#include "snmp/agent.hpp"
+#include "snmp/manager.hpp"
+#include "snmp/mib2.hpp"
+#include "util/table.hpp"
+
+using namespace netmon;
+
+namespace {
+
+struct Row {
+  double offered_mbps;
+  double utilization;
+  double poll_success;   // responses / polls
+  double poll_timeouts;  // timed out after retries
+  double traps_delivered;
+  double excessive_collision_drops;
+};
+
+Row run(double offered_bps) {
+  sim::Simulator sim;
+  apps::SharedLanOptions options;
+  options.hosts = 6;
+  options.add_probe_host = false;
+  apps::SharedLanTestbed bed(sim, options);
+
+  // Background load: two independent senders splitting the offered rate.
+  apps::TrafficSink sink_a(bed.host(3));
+  apps::TrafficSink sink_b(bed.host(4));
+  std::vector<std::unique_ptr<apps::CbrTraffic>> sources;
+  if (offered_bps > 0) {
+    apps::CbrTraffic::Config cfg;
+    cfg.rate_bps = offered_bps / 2.0;
+    cfg.packet_bytes = 1000;
+    sources.push_back(std::make_unique<apps::CbrTraffic>(
+        bed.host(1), bed.host_ip(3), cfg));
+    sources.push_back(std::make_unique<apps::CbrTraffic>(
+        bed.host(2), bed.host_ip(4), cfg));
+    for (auto& s : sources) s->start();
+  }
+
+  // The station polls host0's agent every 100 ms; agent traps every 50 ms.
+  snmp::Manager::Config mgr_cfg;
+  mgr_cfg.timeout = sim::Duration::ms(250);
+  mgr_cfg.retries = 1;
+  mgr_cfg.trap_queue_capacity = 4096;  // isolate wire loss from queue loss
+  mgr_cfg.trap_service_time = sim::Duration::us(100);
+  snmp::Manager manager(bed.station(), mgr_cfg);
+
+  std::uint64_t polls = 0, first_try_ok = 0, ok = 0, failed = 0;
+  sim::PeriodicTask poller(sim, sim::Duration::ms(100), [&] {
+    ++polls;
+    const auto sent_before = manager.counters().retries;
+    manager.get(bed.host_ip(0), {snmp::mib2::kSysUpTime},
+                [&, sent_before](const snmp::SnmpResult& r) {
+                  if (r.ok) {
+                    ++ok;
+                    if (manager.counters().retries == sent_before) {
+                      ++first_try_ok;
+                    }
+                  } else {
+                    ++failed;
+                  }
+                });
+  });
+
+  // The agent on host0 also needs a handle to emit traps.
+  snmp::Agent agent_trapper(bed.host(0), [] {
+    snmp::Agent::Config cfg;
+    cfg.port = 1161;  // the testbed already installed an agent on 161
+    cfg.register_mib2 = false;
+    return cfg;
+  }());
+  std::uint64_t traps_sent = 0;
+  sim::PeriodicTask trapper(sim, sim::Duration::ms(50), [&] {
+    ++traps_sent;
+    agent_trapper.send_trap(bed.station().primary_ip(),
+                            snmp::Oid{1, 3, 6, 1, 4, 1, 42, 0, 1});
+  });
+
+  sim.run_for(sim::Duration::sec(20));
+  poller.cancel();
+  trapper.cancel();
+  sim.run_for(sim::Duration::sec(2));
+
+  Row row;
+  row.offered_mbps = offered_bps / 1e6;
+  row.utilization = bed.segment().utilization(sim.now());
+  row.poll_success = polls ? static_cast<double>(first_try_ok) /
+                                 static_cast<double>(polls)
+                           : 0.0;
+  row.poll_timeouts =
+      polls ? static_cast<double>(failed) / static_cast<double>(polls) : 0.0;
+  row.traps_delivered =
+      traps_sent ? static_cast<double>(manager.counters().traps_received) /
+                       static_cast<double>(traps_sent)
+                 : 0.0;
+  row.excessive_collision_drops =
+      static_cast<double>(bed.segment().stats().excessive_collision_drops);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  util::print_banner(
+      "EXP-E: SNMP request/response/trap loss under load (paper §5.2.4)");
+  std::printf("shared 10 Mb/s Ethernet; station polls agent every 100 ms\n"
+              "(250 ms timeout, 1 retry); agent traps every 50 ms.\n\n");
+
+  util::TextTable table({"offered load", "segment util",
+                         "polls ok 1st try", "polls failed (w/ retry)",
+                         "traps delivered", "collision drops"});
+  for (double mbps : {0.0, 4.0, 8.0, 9.5, 11.0, 14.0, 20.0}) {
+    const Row row = run(mbps * 1e6);
+    table.add_row({util::TextTable::fmt(row.offered_mbps, 1) + " Mb/s",
+                   util::TextTable::fmt_percent(row.utilization),
+                   util::TextTable::fmt_percent(row.poll_success),
+                   util::TextTable::fmt_percent(row.poll_timeouts),
+                   util::TextTable::fmt_percent(row.traps_delivered),
+                   util::TextTable::fmt(row.excessive_collision_drops, 0)});
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape (paper): near-perfect delivery until the segment\n"
+      "approaches saturation, then requests, responses, and traps are lost\n"
+      "(UDP gives no recovery; the retry hides some but not all of it).\n");
+  return 0;
+}

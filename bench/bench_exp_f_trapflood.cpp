@@ -1,0 +1,104 @@
+// EXP-F (paper §5.2.4): "Experiments were also performed to test the
+// ability of SunNet Manager to accept large numbers of traps within a
+// short period of time. ... Results were dependent upon the platform
+// configuration (e.g., memory, CPU). Experiments showed that the
+// management station could be overrun by asynchronous traps."
+//
+// Fixed-size trap bursts are launched at management stations with
+// different queue capacities (memory) and per-trap service times (CPU);
+// we report how many traps reach the trap-reporting application level.
+
+#include <cstdio>
+
+#include "apps/testbed.hpp"
+#include "snmp/agent.hpp"
+#include "snmp/manager.hpp"
+#include "util/table.hpp"
+
+using namespace netmon;
+
+namespace {
+
+struct Row {
+  int burst;
+  std::size_t queue;
+  double service_ms;
+  std::uint64_t received;
+  std::uint64_t processed;
+  std::uint64_t dropped;
+};
+
+Row run(int burst, std::size_t queue_capacity, double service_ms) {
+  sim::Simulator sim;
+  apps::SharedLanOptions options;
+  options.hosts = 2;
+  options.add_probe_host = false;
+  options.bandwidth_bps = 100e6;  // keep the wire out of the equation
+  apps::SharedLanTestbed bed(sim, options);
+
+  snmp::Manager::Config cfg;
+  cfg.trap_queue_capacity = queue_capacity;
+  cfg.trap_service_time = sim::Duration::seconds(service_ms / 1e3);
+  snmp::Manager manager(bed.station(), cfg);
+
+  snmp::Agent::Config agent_cfg;
+  agent_cfg.port = 1161;
+  agent_cfg.register_mib2 = false;
+  snmp::Agent agent(bed.host(0), agent_cfg);
+
+  // Paced just above the wire's drain rate so the element's own transmit
+  // queue is not the bottleneck: the measurement isolates the *station*
+  // (the paper's "fixed numbers of traps were launched").
+  for (int i = 0; i < burst; ++i) {
+    sim.schedule_in(sim::Duration::us(200) * i, [&agent, &bed] {
+      agent.send_trap(bed.station().primary_ip(),
+                      snmp::Oid{1, 3, 6, 1, 4, 1, 42, 0, 1});
+    });
+  }
+  sim.run_for(sim::Duration::sec(60));
+
+  const auto& c = manager.counters();
+  return Row{burst, queue_capacity, service_ms, c.traps_received,
+             c.traps_processed, c.traps_dropped};
+}
+
+}  // namespace
+
+int main() {
+  util::print_banner(
+      "EXP-F: management station overrun by trap floods (paper §5.2.4)");
+  std::printf("traps sent back-to-back on a fast LAN; station modeled as a\n"
+              "finite queue (memory) drained at a per-trap service time "
+              "(CPU).\n\n");
+
+  util::TextTable table({"burst", "queue (memory)", "service/trap (CPU)",
+                         "reached station", "processed", "dropped"});
+  for (int burst : {10, 50, 100, 500, 1000}) {
+    for (std::size_t queue : {std::size_t(16), std::size_t(64),
+                              std::size_t(256)}) {
+      const Row row = run(burst, queue, 2.0);
+      table.add_row({std::to_string(row.burst), std::to_string(row.queue),
+                     util::TextTable::fmt(row.service_ms, 1) + " ms",
+                     std::to_string(row.received),
+                     std::to_string(row.processed),
+                     std::to_string(row.dropped)});
+    }
+  }
+  table.print();
+
+  util::print_banner("EXP-F ablation: CPU speed at fixed queue=64");
+  util::TextTable cpu({"burst", "service/trap", "processed", "dropped"});
+  for (double service_ms : {0.2, 2.0, 10.0}) {
+    const Row row = run(500, 64, service_ms);
+    cpu.add_row({std::to_string(row.burst),
+                 util::TextTable::fmt(row.service_ms, 1) + " ms",
+                 std::to_string(row.processed), std::to_string(row.dropped)});
+  }
+  cpu.print();
+  std::printf(
+      "\nexpected shape (paper): small bursts are absorbed; once the burst\n"
+      "exceeds what queue + service rate can drain, the excess is dropped —\n"
+      "and the loss point moves with platform memory and CPU exactly as the\n"
+      "paper observed with SunNet Manager.\n");
+  return 0;
+}

@@ -1,0 +1,172 @@
+// EXP-G (paper §5.2.4): "Neither the RMON probe nor the Cisco router was
+// capable of matching the fidelity of the NTTCP network analysis tool.
+// Both systems provide a number [of] metrics that may be used to
+// approximate end-to-end throughput (e.g., utilization, octets
+// transferred, ...). Clock granularity appears to be limited in both the
+// probe and the router."
+//
+// An RTDS-like application stream runs host0 -> host1 on a shared segment
+// with unrelated cross-traffic. Ground truth is the application's own
+// goodput at the receiver. Estimators compared:
+//   * NTTCP probe (application layer, mimicking L and P),
+//   * SNMP ifOutOctets polling on the source host,
+//   * RMON etherStats octet rate on the segment.
+// A second sweep shows how management-station clock granularity corrupts
+// the counter-based estimate.
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/rtds.hpp"
+#include "apps/testbed.hpp"
+#include "apps/traffic.hpp"
+#include "core/scalable_monitor.hpp"
+#include "nttcp/nttcp.hpp"
+#include "rmon/probe.hpp"
+#include "util/table.hpp"
+
+using namespace netmon;
+
+namespace {
+
+struct Estimates {
+  double truth_mbps;
+  double nttcp_mbps;
+  double snmp_mbps;
+  double rmon_mbps;
+};
+
+Estimates run(double cross_mbps, sim::Duration station_granularity,
+              sim::Duration poll_gap) {
+  sim::Simulator sim;
+  apps::SharedLanOptions options;
+  options.hosts = 4;
+  options.clocks.offset_spread = sim::Duration::ms(5);
+  apps::SharedLanTestbed bed(sim, options);
+  // COTS-grade station clock for this run.
+  bed.station().clock().set_granularity(station_granularity);
+  rmon::Probe probe(bed.probe_host(), bed.segment());
+
+  // The monitored application: RTDS-like stream (L=2048, P=10ms ~ 1.6 Mb/s).
+  apps::RtdsServer::Config app_cfg;
+  app_cfg.message_length = 2048;
+  app_cfg.period = sim::Duration::ms(10);
+  apps::RtdsServer app(bed.host(0), app_cfg);
+  apps::RtdsClient client(bed.host(1), apps::RtdsClient::Config{});
+  app.start();
+  client.connect(bed.host_ip(0));
+
+  // Unrelated cross-traffic from the same source host.
+  apps::TrafficSink sink(bed.host(2));
+  apps::CbrTraffic::Config cross;
+  cross.rate_bps = cross_mbps * 1e6;
+  cross.packet_bytes = 1000;
+  apps::CbrTraffic cbr(bed.host(0), bed.host_ip(2), cross);
+  if (cross_mbps > 0) cbr.start();
+
+  sim.run_for(sim::Duration::sec(2));  // warm-up
+
+  // --- ground truth over the measurement window ---------------------------
+  const auto t0 = sim.now();
+  const auto tracks0 = client.tracks_received();
+
+  // --- NTTCP estimate (application layer) ---------------------------------
+  // Deferred past the SNMP poll window so the counter estimate is not also
+  // measuring the monitor's own probe traffic.
+  nttcp::NttcpConfig probe_cfg;
+  probe_cfg.message_length = app_cfg.message_length;
+  probe_cfg.inter_send = app_cfg.period;
+  probe_cfg.message_count = 64;
+  double nttcp_bps = 0.0;
+  nttcp::NttcpProbe nttcp_probe(bed.host(0), bed.host_ip(1), probe_cfg,
+                                [&](const nttcp::NttcpResult& r) {
+                                  nttcp_bps = r.throughput_bps;
+                                });
+  sim.schedule_in(sim::Duration::seconds(1.2), [&] { nttcp_probe.start(); });
+
+  // --- SNMP counter estimate (transfer layer on the source host) ----------
+  core::ScalableMonitor::Config mon_cfg;
+  mon_cfg.sensor.throughput_poll_gap = poll_gap;
+  core::ScalableMonitor monitor(bed.network(), bed.station(), mon_cfg);
+  double snmp_bps = 0.0;
+  core::MonitorRequest request;
+  request.paths.push_back(core::PathRequest{
+      core::Path(core::ProcessEndpoint{"rtds", bed.host_ip(0), 0},
+                 core::ProcessEndpoint{"rtds", bed.host_ip(1), 0}),
+      {core::Metric::kThroughput}});
+  monitor.director().submit(request, [&](const core::PathMetricTuple& t) {
+    if (t.value.valid) snmp_bps = t.value.value;
+  });
+
+  // --- RMON estimate (media layer, whole segment) -------------------------
+  const std::uint64_t rmon_octets0 = probe.ether_stats().octets;
+
+  sim.run_for(sim::Duration::sec(3));
+
+  const double window_s = (sim.now() - t0).to_seconds();
+  const double truth_bps =
+      static_cast<double>(client.tracks_received() - tracks0) *
+      app_cfg.message_length * 8.0 / window_s;
+  const double rmon_bps =
+      static_cast<double>(probe.ether_stats().octets - rmon_octets0) * 8.0 /
+      window_s;
+
+  app.stop();
+  cbr.stop();
+  return Estimates{truth_bps / 1e6, nttcp_bps / 1e6, snmp_bps / 1e6,
+                   rmon_bps / 1e6};
+}
+
+std::string err(double est, double truth) {
+  if (est <= 0.0) return "n/a";
+  return util::TextTable::fmt_percent(std::abs(est - truth) / truth);
+}
+
+}  // namespace
+
+int main() {
+  util::print_banner(
+      "EXP-G: estimator fidelity, NTTCP vs SNMP counters vs RMON (§5.2.4)");
+  std::printf("RTDS-like stream (2048 B / 10 ms = 1.64 Mb/s app-level) on a\n"
+              "shared 10 Mb/s Ethernet; ground truth = receiver goodput.\n\n");
+
+  util::TextTable table({"cross-traffic", "truth", "NTTCP (err)",
+                         "SNMP ifOutOctets (err)", "RMON segment (err)"});
+  for (double cross : {0.0, 2.0, 5.0}) {
+    const Estimates e =
+        run(cross, sim::Duration::us(1), sim::Duration::ms(500));
+    table.add_row({util::TextTable::fmt(cross, 1) + " Mb/s",
+                   util::TextTable::fmt(e.truth_mbps, 2) + " Mb/s",
+                   util::TextTable::fmt(e.nttcp_mbps, 2) + " Mb/s (" +
+                       err(e.nttcp_mbps, e.truth_mbps) + ")",
+                   util::TextTable::fmt(e.snmp_mbps, 2) + " Mb/s (" +
+                       err(e.snmp_mbps, e.truth_mbps) + ")",
+                   util::TextTable::fmt(e.rmon_mbps, 2) + " Mb/s (" +
+                       err(e.rmon_mbps, e.truth_mbps) + ")"});
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape (paper): the application-layer NTTCP probe tracks the\n"
+      "path's goodput regardless of cross-traffic, while counter-based SNMP\n"
+      "and segment-level RMON absorb every byte the interface/segment\n"
+      "carries and drift arbitrarily far from the path's own figure.\n");
+
+  util::print_banner(
+      "EXP-G clock-granularity sweep (station clock; poll gap 50 ms)");
+  util::TextTable gran({"station clock tick", "SNMP estimate", "error"});
+  for (auto tick : {sim::Duration::us(1), sim::Duration::ms(10),
+                    sim::Duration::ms(100), sim::Duration::ms(500)}) {
+    const Estimates e = run(0.0, tick, sim::Duration::ms(50));
+    gran.add_row({tick.to_string(),
+                  e.snmp_mbps > 0
+                      ? util::TextTable::fmt(e.snmp_mbps, 2) + " Mb/s"
+                      : "failed (zero elapsed ticks)",
+                  err(e.snmp_mbps, e.truth_mbps)});
+  }
+  gran.print();
+  std::printf(
+      "\nexpected shape (paper): \"clock granularity appears to be limited\" —\n"
+      "once the reading quantum approaches the poll gap, the rate estimate\n"
+      "degrades and finally becomes impossible.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// EXP-I (paper §5.2.4): "short interval, periodic polling of a large
+// network ... can introduce a significant overhead on the network."
+//
+// A management station polls N agents (3 MIB-II variables each) at a sweep
+// of intervals; we report the management bytes/s on the wire and the
+// fraction of a 10 Mb/s shared segment they consume.
+
+#include <cstdio>
+
+#include "apps/testbed.hpp"
+#include "bench/bench_util.hpp"
+#include "snmp/manager.hpp"
+#include "snmp/mib2.hpp"
+#include "util/table.hpp"
+
+using namespace netmon;
+
+namespace {
+
+struct Row {
+  int agents;
+  double interval_s;
+  double mgmt_bps;
+  double capacity_fraction;
+  double response_rate;
+};
+
+Row run(int agents, sim::Duration interval) {
+  sim::Simulator sim;
+  apps::SharedLanOptions options;
+  options.hosts = agents;
+  options.add_probe_host = false;
+  options.install_sinks = false;
+  apps::SharedLanTestbed bed(sim, options);
+
+  snmp::Manager manager(bed.station());
+  std::uint64_t polls = 0, responses = 0;
+  sim::PeriodicTask poller(sim, interval, [&] {
+    for (int i = 0; i < agents; ++i) {
+      ++polls;
+      manager.get(bed.host_ip(i),
+                  {snmp::mib2::kSysUpTime,
+                   snmp::mib2::if_column(snmp::mib2::kIfInOctets, 1),
+                   snmp::mib2::if_column(snmp::mib2::kIfOutOctets, 1)},
+                  [&](const snmp::SnmpResult& r) {
+                    if (r.ok) ++responses;
+                  });
+    }
+  });
+
+  bench::RateWatcher watcher(sim, bed.network(),
+                             net::TrafficClass::kManagement);
+  const auto window = sim::Duration::sec(30);
+  sim.run_for(window);
+  poller.cancel();
+  // Grace period so polls issued near the window's end can still answer.
+  sim.run_for(sim::Duration::sec(2));
+
+  Row row;
+  row.agents = agents;
+  row.interval_s = interval.to_seconds();
+  row.mgmt_bps = watcher.mean_bps();
+  row.capacity_fraction = row.mgmt_bps / bed.segment().bandwidth_bps();
+  row.response_rate =
+      polls ? static_cast<double>(responses) / static_cast<double>(polls) : 0;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  util::print_banner(
+      "EXP-I: intrusiveness of periodic SNMP polling (paper §5.2.4)");
+  std::printf("station polls every agent for 3 MIB-II variables per round on\n"
+              "a shared 10 Mb/s Ethernet.\n\n");
+
+  util::TextTable table({"agents", "poll interval", "management load",
+                         "fraction of 10 Mb/s", "poll success"});
+  for (int agents : {4, 16, 48}) {
+    for (auto interval : {sim::Duration::ms(100), sim::Duration::sec(1),
+                          sim::Duration::sec(10)}) {
+      const Row row = run(agents, interval);
+      table.add_row({std::to_string(row.agents),
+                     util::TextTable::fmt(row.interval_s, 1) + " s",
+                     bench::fmt_mbps(row.mgmt_bps),
+                     util::TextTable::fmt_percent(row.capacity_fraction),
+                     util::TextTable::fmt_percent(row.response_rate)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape (paper): overhead scales with agents/interval; at\n"
+      "48 agents x 100 ms the management plane alone consumes a noticeable\n"
+      "slice of the LAN — \"if not properly architected, [SNMP approaches]\n"
+      "too can be intrusive.\"\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// EXP-K (paper §1 + §5.1, Figures 1 and 5): the system's purpose — the
+// monitor feeds the resource manager, which reconfigures the RTDS service
+// from its replicated pool when the active server fails. At t=10 s the
+// active server is cut off from the network (its interface goes down, the
+// process keeps running — a pure communications failure). We report the
+// reconfiguration latency and the client-observed outage, sweeping the
+// monitoring policy: probe timeout/attempts and the strike threshold.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/rtds.hpp"
+#include "apps/testbed.hpp"
+#include "core/high_fidelity_monitor.hpp"
+#include "manager/resource_manager.hpp"
+#include "util/table.hpp"
+
+using namespace netmon;
+
+namespace {
+
+struct Policy {
+  const char* name;
+  sim::Duration reach_timeout;
+  int reach_attempts;
+  int strikes;
+};
+
+struct Row {
+  double reconfig_latency_s;
+  double outage_s;
+  double monitoring_mbps;  // mean monitoring load before the failure
+  bool recovered;
+};
+
+Row run(const Policy& policy) {
+  sim::Simulator sim;
+  apps::TestbedOptions options;
+  options.servers = 3;
+  options.clients = 9;  // the paper's 27-path configuration
+  apps::Testbed bed(sim, options);
+
+  std::vector<std::unique_ptr<apps::RtdsServer>> servers;
+  for (int s = 0; s < bed.server_count(); ++s) {
+    servers.push_back(std::make_unique<apps::RtdsServer>(
+        bed.server(s), apps::RtdsServer::Config{}));
+  }
+  servers[0]->start();
+  std::vector<std::unique_ptr<apps::RtdsClient>> clients;
+  for (int c = 0; c < bed.client_count(); ++c) {
+    clients.push_back(std::make_unique<apps::RtdsClient>(
+        bed.client(c), apps::RtdsClient::Config{}));
+    clients.back()->connect(bed.server_ip(0));
+  }
+
+  core::HighFidelityMonitor::Config mon_cfg;
+  mon_cfg.reach.timeout = policy.reach_timeout;
+  mon_cfg.reach.attempts = policy.reach_attempts;
+  core::HighFidelityMonitor monitor(bed.network(), mon_cfg);
+
+  mgr::ResourceManager::Config rm_cfg;
+  rm_cfg.metrics = {core::Metric::kReachability};
+  rm_cfg.strikes = policy.strikes;
+  mgr::ResourceManager manager(monitor.director(), rm_cfg);
+
+  mgr::ManagedApplication app;
+  app.name = "rtds";
+  for (int s = 0; s < bed.server_count(); ++s) {
+    app.server_pool.push_back(bed.server_ip(s));
+  }
+  for (int c = 0; c < bed.client_count(); ++c) {
+    app.client_pool.push_back(bed.client_ip(c));
+  }
+  app.port = apps::kRtdsPort;
+
+  double reconfig_at = -1.0;
+  manager.set_reconfiguration_callback(
+      [&](const mgr::ReconfigurationEvent& event) {
+        if (reconfig_at < 0) reconfig_at = event.at.to_seconds();
+        for (int s = 0; s < bed.server_count(); ++s) {
+          if (bed.server_ip(s) == event.new_server) {
+            servers[s]->start();
+          } else {
+            servers[s]->stop();
+          }
+        }
+        for (auto& client : clients) client->connect(event.new_server);
+      });
+  manager.manage(app, bed.server_ip(0));
+
+  sim.run_for(sim::Duration::sec(10));
+  const auto mon_octets =
+      bed.network().octets_by_class()[static_cast<std::size_t>(
+          net::TrafficClass::kMonitoring)];
+  const double failure_at = sim.now().to_seconds();
+  // Network isolation: the interface dies, not the host.
+  bed.server(0).nic(0).set_up(false);
+  sim.run_for(sim::Duration::sec(120));
+
+  Row row;
+  row.monitoring_mbps = static_cast<double>(mon_octets) * 8.0 / 10.0 / 1e6;
+  row.reconfig_latency_s = reconfig_at < 0 ? -1 : reconfig_at - failure_at;
+  double outage = 0.0;
+  bool all_recovered = manager.reconfigurations() >= 1;
+  for (auto& client : clients) {
+    outage = std::max(outage, client->longest_gap().to_seconds());
+    auto since = client->time_since_last_track();
+    if (!since || since->to_seconds() > 1.0) all_recovered = false;
+  }
+  row.outage_s = outage;
+  row.recovered = all_recovered;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  util::print_banner(
+      "EXP-K: end-to-end survivability — failover driven by the monitor "
+      "(paper §1/§5.1)");
+  std::printf("S=3, C=9 (27 monitored paths); the active RTDS server's NIC\n"
+              "dies at t=10 s; reachability sweeps cycle through the serial\n"
+              "sequencer.\n\n");
+
+  const Policy policies[] = {
+      {"aggressive (100 ms x1, 1 strike)", sim::Duration::ms(100), 1, 1},
+      {"default    (500 ms x3, 2 strikes)", sim::Duration::ms(500), 3, 2},
+      {"cautious   (500 ms x3, 3 strikes)", sim::Duration::ms(500), 3, 3},
+      {"lethargic  (1 s x3, 3 strikes)", sim::Duration::sec(1), 3, 3},
+  };
+  util::TextTable table({"policy", "reconfig latency", "worst client outage",
+                         "steady monitoring load", "recovered"});
+  for (const Policy& policy : policies) {
+    const Row row = run(policy);
+    table.add_row(
+        {policy.name,
+         row.reconfig_latency_s < 0
+             ? "never"
+             : util::TextTable::fmt(row.reconfig_latency_s, 1) + " s",
+         util::TextTable::fmt(row.outage_s, 1) + " s",
+         util::TextTable::fmt(row.monitoring_mbps, 3) + " Mb/s",
+         row.recovered ? "yes" : "NO"});
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: detection latency scales with probe timeout x\n"
+      "attempts x strikes (failed paths hold the serial sequencer for the\n"
+      "full timeout, so cautious policies also slow the sweep); the service\n"
+      "survives the failure under every policy.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Microbenchmarks (google-benchmark) for the hot substrate paths: event
+// queue, BER codec, MIB walks, the measurement database, and a full
+// simulated UDP round trip.
+
+#include <benchmark/benchmark.h>
+
+#include "core/measurement_db.hpp"
+#include "net/topology.hpp"
+#include "net/udp.hpp"
+#include "sim/simulator.hpp"
+#include "snmp/mib.hpp"
+#include "snmp/mib2.hpp"
+#include "snmp/pdu.hpp"
+
+using namespace netmon;
+
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_in(sim::Duration::us((i * 37) % 1000 + 1),
+                      [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_PeriodicTimerChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    auto handle = sim.schedule_periodic(sim::Duration::us(10),
+                                        [&fired] { ++fired; });
+    sim.run_for(sim::Duration::ms(100));
+    handle.cancel();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_PeriodicTimerChain);
+
+snmp::Message sample_message() {
+  snmp::Message msg;
+  msg.community = "public";
+  msg.pdu.type = snmp::PduType::kResponse;
+  msg.pdu.request_id = 42;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    msg.pdu.varbinds.push_back(snmp::VarBind{
+        snmp::mib2::if_column(snmp::mib2::kIfInOctets, i + 1),
+        snmp::SnmpValue(snmp::Counter32{123456789u + i})});
+  }
+  return msg;
+}
+
+void BM_BerEncode(benchmark::State& state) {
+  const snmp::Message msg = sample_message();
+  for (auto _ : state) {
+    auto bytes = msg.encode();
+    benchmark::DoNotOptimize(bytes.data());
+  }
+}
+BENCHMARK(BM_BerEncode);
+
+void BM_BerDecode(benchmark::State& state) {
+  const auto bytes = sample_message().encode();
+  for (auto _ : state) {
+    auto msg = snmp::Message::decode(bytes);
+    benchmark::DoNotOptimize(msg.pdu.varbinds.size());
+  }
+}
+BENCHMARK(BM_BerDecode);
+
+void BM_MibGetNextWalk(benchmark::State& state) {
+  snmp::MibTree tree;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    tree.add_const(snmp::Oid{1, 3, 6, 1, 4, 1, 42,
+                             static_cast<std::uint32_t>(i)},
+                   snmp::SnmpValue(i));
+  }
+  for (auto _ : state) {
+    snmp::Oid cursor{1};
+    int visited = 0;
+    while (auto next = tree.get_next(cursor)) {
+      cursor = next->oid;
+      ++visited;
+    }
+    benchmark::DoNotOptimize(visited);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MibGetNextWalk)->Arg(64)->Arg(1024);
+
+void BM_MeasurementDbRecord(benchmark::State& state) {
+  core::Path path(
+      core::ProcessEndpoint{"a", net::IpAddr(10, 0, 0, 1), 1},
+      core::ProcessEndpoint{"b", net::IpAddr(10, 0, 0, 2), 1});
+  core::MeasurementDatabase db;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    db.record(path, core::Metric::kThroughput,
+              core::MetricValue::of(1e6, sim::TimePoint::from_nanos(++t)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeasurementDbRecord);
+
+void BM_SimulatedUdpRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network network(sim, util::Rng(1));
+    auto& a = network.add_host("a");
+    auto& b = network.add_host("b");
+    network.connect(a, net::IpAddr(10, 0, 0, 1), b, net::IpAddr(10, 0, 0, 2),
+                    24, 100e6, sim::Duration::us(10));
+    network.auto_route();
+    int received = 0;
+    auto* reply_to = &a.udp().bind(7001, [&](const net::Packet&) { ++received; });
+    (void)reply_to;
+    auto& echo = b.udp().bind(7000, nullptr);
+    b.udp().bind(7002, nullptr);
+    auto& sock = a.udp().bind(0, nullptr);
+    echo.set_handler([&](const net::Packet& p) {
+      echo.send_to(p.src, 7001, p.payload_bytes, nullptr, p.traffic_class);
+    });
+    for (int i = 0; i < 100; ++i) {
+      sock.send_to(net::IpAddr(10, 0, 0, 2), 7000, 256, nullptr,
+                   net::TrafficClass::kOther);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_SimulatedUdpRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+#pragma once
+
+// Shared helpers for the experiment harnesses (bench_exp_*). Each bench
+// prints the paper's claim next to the measured reproduction using
+// util::TextTable.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+namespace netmon::bench {
+
+// Samples total wire bytes of one traffic class on a fixed tick and tracks
+// the peak and mean rate observed. Attach before starting load.
+class RateWatcher {
+ public:
+  RateWatcher(sim::Simulator& sim, const net::Network& network,
+              net::TrafficClass cls,
+              sim::Duration tick = sim::Duration::ms(100))
+      : network_(network), cls_(cls), tick_(tick) {
+    last_ = total();
+    first_ = last_;
+    task_ = sim::PeriodicTask(sim, tick_, [this] { sample(); });
+  }
+
+  double peak_bps() const { return peak_bps_; }
+  double mean_bps() const {
+    return samples_ == 0 ? 0.0 : sum_bps_ / static_cast<double>(samples_);
+  }
+  std::uint64_t total_bytes() const { return total() - first_; }
+
+ private:
+  std::uint64_t total() const {
+    return network_.octets_by_class()[static_cast<std::size_t>(cls_)];
+  }
+  void sample() {
+    const std::uint64_t now = total();
+    const double bps =
+        static_cast<double>(now - last_) * 8.0 / tick_.to_seconds();
+    last_ = now;
+    if (bps > peak_bps_) peak_bps_ = bps;
+    sum_bps_ += bps;
+    ++samples_;
+  }
+
+  const net::Network& network_;
+  net::TrafficClass cls_;
+  sim::Duration tick_;
+  std::uint64_t last_ = 0;
+  std::uint64_t first_ = 0;
+  double peak_bps_ = 0.0;
+  double sum_bps_ = 0.0;
+  std::uint64_t samples_ = 0;
+  sim::PeriodicTask task_;
+};
+
+inline std::string fmt_mbps(double bps) {
+  return util::TextTable::fmt_rate_mbps(bps);
+}
+
+}  // namespace netmon::bench

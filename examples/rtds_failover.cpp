@@ -1,0 +1,112 @@
+// The HiPer-D survivability scenario end to end (paper §1 + §5.1):
+// the Radar Track Data Server streams tracks to clients; the network
+// resource monitor watches the full server x client path matrix; when the
+// active server host dies, the resource manager picks a replacement from
+// the pool, restarts the service there, and repoints the clients.
+//
+//   $ ./rtds_failover
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/rtds.hpp"
+#include "apps/testbed.hpp"
+#include "core/high_fidelity_monitor.hpp"
+#include "manager/resource_manager.hpp"
+
+using namespace netmon;
+
+int main() {
+  sim::Simulator sim;
+
+  // The paper's pools: S=3 servers, C=9 clients (27 monitored paths).
+  apps::TestbedOptions options;
+  options.servers = 3;
+  options.clients = 9;
+  apps::Testbed bed(sim, options);
+
+  // RTDS server processes on every pool member; only the active one runs.
+  std::vector<std::unique_ptr<apps::RtdsServer>> servers;
+  for (int s = 0; s < bed.server_count(); ++s) {
+    servers.push_back(std::make_unique<apps::RtdsServer>(
+        bed.server(s), apps::RtdsServer::Config{}));
+  }
+  servers[0]->start();
+
+  std::vector<std::unique_ptr<apps::RtdsClient>> clients;
+  for (int c = 0; c < bed.client_count(); ++c) {
+    clients.push_back(std::make_unique<apps::RtdsClient>(
+        bed.client(c), apps::RtdsClient::Config{}));
+    clients.back()->connect(bed.server_ip(0));
+  }
+
+  // High-fidelity monitor with the serial test sequencer.
+  core::HighFidelityMonitor::Config mon_cfg;
+  mon_cfg.probe.message_length = 8192;
+  mon_cfg.probe.inter_send = sim::Duration::ms(5);
+  mon_cfg.probe.message_count = 4;
+  mon_cfg.probe.result_timeout = sim::Duration::ms(500);
+  core::HighFidelityMonitor monitor(bed.network(), mon_cfg);
+
+  mgr::ResourceManager::Config rm_cfg;
+  rm_cfg.metrics = {core::Metric::kReachability};
+  rm_cfg.strikes = 2;
+  mgr::ResourceManager manager(monitor.director(), rm_cfg);
+
+  mgr::ManagedApplication app;
+  app.name = "rtds";
+  for (int s = 0; s < bed.server_count(); ++s) {
+    app.server_pool.push_back(bed.server_ip(s));
+  }
+  for (int c = 0; c < bed.client_count(); ++c) {
+    app.client_pool.push_back(bed.client_ip(c));
+  }
+  app.port = apps::kRtdsPort;
+
+  manager.set_reconfiguration_callback(
+      [&](const mgr::ReconfigurationEvent& event) {
+        std::printf("[t=%8.3fs] RECONFIGURATION: %s -> %s (%s)\n",
+                    event.at.to_seconds(), event.old_server.to_string().c_str(),
+                    event.new_server.to_string().c_str(),
+                    event.reason.c_str());
+        for (int s = 0; s < bed.server_count(); ++s) {
+          if (bed.server_ip(s) == event.new_server) {
+            servers[s]->start();
+          } else {
+            servers[s]->stop();
+          }
+        }
+        for (auto& client : clients) client->connect(event.new_server);
+      });
+  manager.manage(app, bed.server_ip(0));
+
+  std::printf("RTDS on %s; monitoring %d paths...\n",
+              bed.server_ip(0).to_string().c_str(),
+              bed.server_count() * bed.client_count());
+
+  sim.run_for(sim::Duration::sec(10));
+  std::printf("[t=%8.3fs] client0 has %llu tracks so far\n",
+              sim.now().to_seconds(),
+              static_cast<unsigned long long>(clients[0]->tracks_received()));
+
+  std::printf("[t=%8.3fs] KILLING active server host %s\n",
+              sim.now().to_seconds(), bed.server_ip(0).to_string().c_str());
+  bed.server(0).set_up(false);
+
+  sim.run_for(sim::Duration::sec(60));
+
+  std::printf("\nafter failover:\n");
+  std::printf("  active server:      %s\n",
+              manager.active_server("rtds").to_string().c_str());
+  std::printf("  reconfigurations:   %llu\n",
+              static_cast<unsigned long long>(manager.reconfigurations()));
+  std::printf("  tuples consumed:    %llu\n",
+              static_cast<unsigned long long>(manager.tuples_consumed()));
+  for (int c = 0; c < 3; ++c) {
+    std::printf("  client%d: %llu tracks, longest gap %.2fs\n", c,
+                static_cast<unsigned long long>(clients[c]->tracks_received()),
+                clients[c]->longest_gap().to_seconds());
+  }
+  return 0;
+}

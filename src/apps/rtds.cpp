@@ -1,0 +1,109 @@
+#include "apps/rtds.hpp"
+
+#include <memory>
+
+#include "util/logging.hpp"
+
+namespace netmon::apps {
+
+RtdsServer::RtdsServer(net::Host& host, Config config)
+    : host_(host),
+      config_(config),
+      socket_(host.udp().bind(
+          config_.port, [this](const net::Packet& p) { on_control(p); })) {}
+
+void RtdsServer::on_control(const net::Packet& packet) {
+  auto control = net::payload_as<RtdsControl>(packet);
+  if (!control) return;
+  if (control->subscribe) {
+    subscribers_[packet.src] =
+        Subscriber{packet.src_port, config_.subscriber_ttl_periods};
+  } else {
+    subscribers_.erase(packet.src);
+  }
+}
+
+void RtdsServer::start() {
+  if (running_) return;
+  running_ = true;
+  task_ = sim::PeriodicTask(host_.simulator(), config_.period,
+                            [this] { tick(); });
+}
+
+void RtdsServer::stop() {
+  running_ = false;
+  task_.cancel();
+}
+
+void RtdsServer::tick() {
+  if (!host_.up()) return;
+  auto track = std::make_shared<TrackMessage>();
+  track->seq = next_seq_++;
+  track->sent_local = host_.clock().local_now();
+  for (auto it = subscribers_.begin(); it != subscribers_.end();) {
+    if (--it->second.ttl <= 0) {
+      it = subscribers_.erase(it);
+      continue;
+    }
+    socket_.send_to(it->first, it->second.port, config_.message_length,
+                    track, net::TrafficClass::kApplication);
+    ++messages_sent_;
+    ++it;
+  }
+}
+
+RtdsClient::RtdsClient(net::Host& host, Config config)
+    : host_(host),
+      config_(config),
+      socket_(host.udp().bind(
+          0, [this](const net::Packet& p) { on_datagram(p); })) {}
+
+void RtdsClient::connect(net::IpAddr server) {
+  server_ = server;
+  send_subscribe();
+  resubscribe_task_ =
+      sim::PeriodicTask(host_.simulator(), config_.resubscribe_interval,
+                        [this] { send_subscribe(); });
+}
+
+void RtdsClient::disconnect() {
+  resubscribe_task_.cancel();
+  if (!server_.is_unspecified()) {
+    auto control = std::make_shared<RtdsControl>();
+    control->subscribe = false;
+    socket_.send_to(server_, config_.server_port, 16, std::move(control),
+                    net::TrafficClass::kApplication);
+  }
+  server_ = net::IpAddr{};
+}
+
+void RtdsClient::send_subscribe() {
+  if (server_.is_unspecified()) return;
+  auto control = std::make_shared<RtdsControl>();
+  control->subscribe = true;
+  socket_.send_to(server_, config_.server_port, 16, std::move(control),
+                  net::TrafficClass::kApplication);
+}
+
+void RtdsClient::on_datagram(const net::Packet& packet) {
+  auto track = net::payload_as<TrackMessage>(packet);
+  if (!track) return;
+  const auto now = host_.simulator().now();
+  if (last_arrival_) {
+    const auto gap = now - *last_arrival_;
+    interarrival_.add(gap.to_seconds());
+    if (gap > config_.gap_threshold) {
+      ++gaps_;
+      if (gap > longest_gap_) longest_gap_ = gap;
+    }
+  }
+  last_arrival_ = now;
+  ++tracks_received_;
+}
+
+std::optional<sim::Duration> RtdsClient::time_since_last_track() const {
+  if (!last_arrival_) return std::nullopt;
+  return host_.simulator().now() - *last_arrival_;
+}
+
+}  // namespace netmon::apps

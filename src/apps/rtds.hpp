@@ -1,0 +1,112 @@
+#pragma once
+
+// Radar Track Data Server (paper §5.1): the monitored application. The
+// server distributes fixed-size track messages to subscribed clients every
+// period (HiPer-D values: L = 8192 bytes, P = 30 ms). Clients subscribe
+// over UDP and track arrival gaps; the resource manager moves the service
+// to another pool host when the monitor reports failure.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "net/host.hpp"
+#include "net/udp.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace netmon::apps {
+
+constexpr std::uint16_t kRtdsPort = 6200;
+
+struct TrackMessage : net::Payload {
+  std::uint64_t seq = 0;
+  sim::TimePoint sent_local;  // server clock
+};
+
+struct RtdsControl : net::Payload {
+  bool subscribe = true;
+};
+
+class RtdsServer {
+ public:
+  struct Config {
+    std::uint32_t message_length = 8192;          // L
+    sim::Duration period = sim::Duration::ms(30);  // P
+    std::uint16_t port = kRtdsPort;
+    // Idle subscribers are dropped after this many periods without a
+    // refreshing subscribe (clients re-subscribe periodically).
+    int subscriber_ttl_periods = 200;
+  };
+
+  RtdsServer(net::Host& host, Config config);
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+  net::Host& host() { return host_; }
+  const Config& config() const { return config_; }
+
+  std::size_t subscriber_count() const { return subscribers_.size(); }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  struct Subscriber {
+    std::uint16_t port;
+    int ttl;
+  };
+
+  void on_control(const net::Packet& packet);
+  void tick();
+
+  net::Host& host_;
+  Config config_;
+  net::UdpSocket& socket_;
+  std::map<net::IpAddr, Subscriber> subscribers_;
+  sim::PeriodicTask task_;
+  bool running_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t messages_sent_ = 0;
+};
+
+class RtdsClient {
+ public:
+  struct Config {
+    std::uint16_t server_port = kRtdsPort;
+    sim::Duration resubscribe_interval = sim::Duration::sec(1);
+    // An inter-arrival gap beyond this counts as a service interruption.
+    sim::Duration gap_threshold = sim::Duration::ms(200);
+  };
+
+  RtdsClient(net::Host& host, Config config);
+
+  // (Re)binds to a server; called at startup and by failover logic.
+  void connect(net::IpAddr server);
+  void disconnect();
+
+  net::Host& host() { return host_; }
+  net::IpAddr server() const { return server_; }
+  std::uint64_t tracks_received() const { return tracks_received_; }
+  std::uint64_t gaps() const { return gaps_; }
+  // Longest observed interruption of the track stream.
+  sim::Duration longest_gap() const { return longest_gap_; }
+  std::optional<sim::Duration> time_since_last_track() const;
+  const util::Accumulator& interarrival_seconds() const { return interarrival_; }
+
+ private:
+  void on_datagram(const net::Packet& packet);
+  void send_subscribe();
+
+  net::Host& host_;
+  Config config_;
+  net::UdpSocket& socket_;
+  net::IpAddr server_{};
+  sim::PeriodicTask resubscribe_task_;
+  std::uint64_t tracks_received_ = 0;
+  std::uint64_t gaps_ = 0;
+  sim::Duration longest_gap_{};
+  std::optional<sim::TimePoint> last_arrival_;
+  util::Accumulator interarrival_;
+};
+
+}  // namespace netmon::apps

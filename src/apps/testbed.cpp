@@ -1,0 +1,122 @@
+#include "apps/testbed.hpp"
+
+#include "apps/rtds.hpp"
+
+namespace netmon::apps {
+
+namespace {
+clk::HostClock noisy_clock(sim::Simulator& sim, util::Rng& rng,
+                           const ClockNoise& noise) {
+  const auto spread = noise.offset_spread.nanos();
+  const auto offset = sim::Duration::ns(
+      spread == 0 ? 0 : rng.uniform_int(-spread, spread));
+  const double drift =
+      rng.uniform(-noise.drift_ppm_spread, noise.drift_ppm_spread);
+  return clk::HostClock(sim, offset, drift, noise.granularity);
+}
+}  // namespace
+
+Testbed::Testbed(sim::Simulator& sim, TestbedOptions options)
+    : sim_(sim),
+      options_(options),
+      rng_(options.seed),
+      network_(sim, util::Rng(options.seed ^ 0xBEEF)) {
+  backbone_ = &network_.add_switch("backbone");
+
+  station_ = &network_.add_host("station", make_clock());
+  network_.attach(*station_, *backbone_, net::IpAddr(10, 0, 0, 1), 16,
+                  options_.backbone_bps, options_.link_delay);
+
+  for (int i = 0; i < options_.servers; ++i) {
+    net::Host& host =
+        network_.add_host("server" + std::to_string(i), make_clock());
+    network_.attach(host, *backbone_,
+                    net::IpAddr(10, 0, 1, static_cast<std::uint8_t>(i + 1)),
+                    16, options_.backbone_bps, options_.link_delay);
+    servers_.push_back(&host);
+  }
+  for (int i = 0; i < options_.clients; ++i) {
+    net::Host& host =
+        network_.add_host("client" + std::to_string(i), make_clock());
+    network_.attach(host, *backbone_,
+                    net::IpAddr(10, 0, 2, static_cast<std::uint8_t>(i + 1)),
+                    16, options_.backbone_bps, options_.link_delay);
+    clients_.push_back(&host);
+  }
+  network_.auto_route();
+
+  if (options_.install_agents) {
+    for (const auto& host : network_.hosts()) {
+      agents_.push_back(std::make_unique<snmp::Agent>(*host));
+    }
+  }
+  if (options_.install_sinks) {
+    for (net::Host* host : servers_) sinks_.install(*host);
+    for (net::Host* host : clients_) sinks_.install(*host);
+  }
+}
+
+clk::HostClock Testbed::make_clock() {
+  return noisy_clock(sim_, rng_, options_.clocks);
+}
+
+core::Path Testbed::path(int server, int client) const {
+  return core::Path(
+      core::ProcessEndpoint{"rtds-server", servers_.at(server)->primary_ip(),
+                            kRtdsPort},
+      core::ProcessEndpoint{"rtds-client", clients_.at(client)->primary_ip(),
+                            kRtdsPort});
+}
+
+std::vector<core::PathRequest> Testbed::full_matrix(
+    std::vector<core::Metric> metrics) const {
+  std::vector<core::PathRequest> out;
+  for (int s = 0; s < static_cast<int>(servers_.size()); ++s) {
+    for (int c = 0; c < static_cast<int>(clients_.size()); ++c) {
+      out.push_back(core::PathRequest{path(s, c), metrics});
+    }
+  }
+  return out;
+}
+
+SharedLanTestbed::SharedLanTestbed(sim::Simulator& sim,
+                                   SharedLanOptions options)
+    : sim_(sim),
+      options_(options),
+      rng_(options.seed),
+      network_(sim, util::Rng(options.seed ^ 0xF00D)) {
+  segment_ = &network_.add_segment("lan", options_.bandwidth_bps,
+                                   options_.propagation);
+
+  station_ = &network_.add_host("station", make_clock());
+  network_.attach(*station_, *segment_, net::IpAddr(192, 168, 1, 1), 24);
+
+  for (int i = 0; i < options_.hosts; ++i) {
+    net::Host& host =
+        network_.add_host("host" + std::to_string(i), make_clock());
+    network_.attach(host, *segment_,
+                    net::IpAddr(192, 168, 1, static_cast<std::uint8_t>(i + 10)),
+                    24);
+    hosts_.push_back(&host);
+  }
+  if (options_.add_probe_host) {
+    probe_host_ = &network_.add_host("rmon-probe", make_clock());
+    network_.attach(*probe_host_, *segment_, net::IpAddr(192, 168, 1, 250), 24);
+  }
+  network_.auto_route();
+
+  if (options_.install_agents) {
+    for (net::Host* host : hosts_) {
+      agents_.push_back(std::make_unique<snmp::Agent>(*host));
+    }
+  }
+  if (options_.install_sinks) {
+    for (net::Host* host : hosts_) sinks_.install(*host);
+  }
+}
+
+clk::HostClock SharedLanTestbed::make_clock() {
+  return noisy_clock(sim_, rng_, options_.clocks);
+}
+
+}  // namespace netmon::apps

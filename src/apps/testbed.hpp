@@ -1,0 +1,119 @@
+#pragma once
+
+// Reusable testbeds modeled on the HiPer-D configuration (paper §1, §5.1):
+//   * Testbed — a switched FDDI/ATM-class backbone with S servers, C
+//     clients, and a monitor/management station (the 27-path matrix setup).
+//   * SharedLanTestbed — hosts on one shared 10 Mb/s Ethernet segment (the
+//     COTS management experiments of §5.2.3, where RMON probes can sniff).
+// Hosts get imperfect clocks (offset, drift, granularity) from a seeded RNG
+// so every clock-sensitive result is reproducible.
+
+#include <memory>
+#include <vector>
+
+#include "core/high_fidelity_monitor.hpp"
+#include "core/path.hpp"
+#include "net/topology.hpp"
+#include "snmp/agent.hpp"
+
+namespace netmon::apps {
+
+struct ClockNoise {
+  sim::Duration offset_spread = sim::Duration::ms(10);  // uniform +-spread
+  double drift_ppm_spread = 20.0;                       // uniform +-spread
+  sim::Duration granularity = sim::Duration::us(1);
+};
+
+struct TestbedOptions {
+  int servers = 3;
+  int clients = 9;
+  double backbone_bps = net::bandwidth::kFddi100;
+  sim::Duration link_delay = sim::Duration::us(5);
+  std::uint64_t seed = 42;
+  ClockNoise clocks;
+  bool install_agents = true;  // SNMP agent on every host
+  bool install_sinks = true;   // NTTCP sink + echo responder on every host
+};
+
+class Testbed {
+ public:
+  Testbed(sim::Simulator& sim, TestbedOptions options);
+
+  net::Network& network() { return network_; }
+  sim::Simulator& simulator() { return sim_; }
+  const TestbedOptions& options() const { return options_; }
+
+  net::Host& server(int i) { return *servers_.at(i); }
+  net::Host& client(int i) { return *clients_.at(i); }
+  net::Host& station() { return *station_; }
+  net::IpAddr server_ip(int i) const { return servers_.at(i)->primary_ip(); }
+  net::IpAddr client_ip(int i) const { return clients_.at(i)->primary_ip(); }
+  int server_count() const { return static_cast<int>(servers_.size()); }
+  int client_count() const { return static_cast<int>(clients_.size()); }
+
+  // The S×C application path matrix with the given metrics on every path.
+  std::vector<core::PathRequest> full_matrix(
+      std::vector<core::Metric> metrics) const;
+  core::Path path(int server, int client) const;
+
+  core::SinkSet& sinks() { return sinks_; }
+
+ private:
+  clk::HostClock make_clock();
+
+  sim::Simulator& sim_;
+  TestbedOptions options_;
+  util::Rng rng_;
+  net::Network network_;
+  net::Switch* backbone_ = nullptr;
+  std::vector<net::Host*> servers_;
+  std::vector<net::Host*> clients_;
+  net::Host* station_ = nullptr;
+  std::vector<std::unique_ptr<snmp::Agent>> agents_;
+  core::SinkSet sinks_;
+};
+
+struct SharedLanOptions {
+  int hosts = 6;
+  double bandwidth_bps = net::bandwidth::kEthernet10;
+  sim::Duration propagation = sim::Duration::us(5);
+  std::uint64_t seed = 42;
+  ClockNoise clocks;
+  bool install_agents = true;
+  bool install_sinks = true;
+  // Adds an extra host intended to carry an rmon::Probe.
+  bool add_probe_host = true;
+};
+
+class SharedLanTestbed {
+ public:
+  SharedLanTestbed(sim::Simulator& sim, SharedLanOptions options);
+
+  net::Network& network() { return network_; }
+  net::SharedSegment& segment() { return *segment_; }
+  net::Host& host(int i) { return *hosts_.at(i); }
+  net::IpAddr host_ip(int i) const { return hosts_.at(i)->primary_ip(); }
+  int host_count() const { return static_cast<int>(hosts_.size()); }
+  // Management station (distinct from the numbered hosts).
+  net::Host& station() { return *station_; }
+  // Present when add_probe_host; carries no agent or sink by default.
+  net::Host& probe_host() { return *probe_host_; }
+
+  core::SinkSet& sinks() { return sinks_; }
+
+ private:
+  clk::HostClock make_clock();
+
+  sim::Simulator& sim_;
+  SharedLanOptions options_;
+  util::Rng rng_;
+  net::Network network_;
+  net::SharedSegment* segment_ = nullptr;
+  std::vector<net::Host*> hosts_;
+  net::Host* station_ = nullptr;
+  net::Host* probe_host_ = nullptr;
+  std::vector<std::unique_ptr<snmp::Agent>> agents_;
+  core::SinkSet sinks_;
+};
+
+}  // namespace netmon::apps

@@ -1,0 +1,82 @@
+#include "apps/traffic.hpp"
+
+namespace netmon::apps {
+
+TrafficSink::TrafficSink(net::Host& host, std::uint16_t port)
+    : socket_(host.udp().bind(port, [this](const net::Packet& p) {
+        ++packets_;
+        bytes_ += p.payload_bytes;
+      })) {}
+
+CbrTraffic::CbrTraffic(net::Host& host, net::IpAddr dst, Config config)
+    : host_(host),
+      dst_(dst),
+      config_(config),
+      socket_(host.udp().bind(0, nullptr)) {}
+
+void CbrTraffic::start() {
+  const double packets_per_second =
+      config_.rate_bps / (8.0 * config_.packet_bytes);
+  const auto period = sim::Duration::seconds(1.0 / packets_per_second);
+  task_ = sim::PeriodicTask(host_.simulator(), period, [this] { send_one(); });
+}
+
+void CbrTraffic::stop() { task_.cancel(); }
+
+void CbrTraffic::send_one() {
+  socket_.send_to(dst_, config_.dst_port, config_.packet_bytes, nullptr,
+                  config_.traffic_class);
+  ++packets_sent_;
+}
+
+OnOffTraffic::OnOffTraffic(net::Host& host, net::IpAddr dst, Config config,
+                           util::Rng rng)
+    : host_(host),
+      dst_(dst),
+      config_(config),
+      rng_(rng),
+      socket_(host.udp().bind(0, nullptr)) {}
+
+void OnOffTraffic::start() {
+  running_ = true;
+  enter_off();
+}
+
+void OnOffTraffic::stop() {
+  running_ = false;
+  send_task_.cancel();
+  phase_timer_.cancel();
+  on_ = false;
+}
+
+void OnOffTraffic::enter_on() {
+  if (!running_) return;
+  on_ = true;
+  const double packets_per_second =
+      config_.rate_bps / (8.0 * config_.packet_bytes);
+  send_task_ = sim::PeriodicTask(
+      host_.simulator(), sim::Duration::seconds(1.0 / packets_per_second),
+      [this] { send_one(); });
+  const auto on_for =
+      sim::Duration::seconds(rng_.exponential(config_.mean_on.to_seconds()));
+  phase_timer_ = host_.simulator().schedule_in(on_for, [this] {
+    send_task_.cancel();
+    enter_off();
+  });
+}
+
+void OnOffTraffic::enter_off() {
+  if (!running_) return;
+  on_ = false;
+  const auto off_for =
+      sim::Duration::seconds(rng_.exponential(config_.mean_off.to_seconds()));
+  phase_timer_ = host_.simulator().schedule_in(off_for, [this] { enter_on(); });
+}
+
+void OnOffTraffic::send_one() {
+  socket_.send_to(dst_, config_.dst_port, config_.packet_bytes, nullptr,
+                  config_.traffic_class);
+  ++packets_sent_;
+}
+
+}  // namespace netmon::apps

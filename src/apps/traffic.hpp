@@ -1,0 +1,95 @@
+#pragma once
+
+// Synthetic load generators: constant-bit-rate and bursty on/off UDP
+// sources, plus a counting sink. Used to load segments for the SNMP-loss,
+// burst-accuracy, and fidelity experiments.
+
+#include <cstdint>
+
+#include "net/host.hpp"
+#include "net/udp.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::apps {
+
+constexpr std::uint16_t kTrafficSinkPort = 6300;
+
+class TrafficSink {
+ public:
+  TrafficSink(net::Host& host, std::uint16_t port = kTrafficSinkPort);
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  net::UdpSocket& socket_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+class CbrTraffic {
+ public:
+  struct Config {
+    double rate_bps = 1e6;  // application payload rate
+    std::uint32_t packet_bytes = 1024;
+    std::uint16_t dst_port = kTrafficSinkPort;
+    net::TrafficClass traffic_class = net::TrafficClass::kOther;
+  };
+
+  CbrTraffic(net::Host& host, net::IpAddr dst, Config config);
+
+  void start();
+  void stop();
+  std::uint64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  void send_one();
+
+  net::Host& host_;
+  net::IpAddr dst_;
+  Config config_;
+  net::UdpSocket& socket_;
+  sim::PeriodicTask task_;
+  std::uint64_t packets_sent_ = 0;
+};
+
+// Bursty cross-traffic: alternating exponentially-distributed ON periods
+// (sending at `rate_bps`) and OFF periods (silent). The "transient
+// conditions" that make short measurement bursts unreliable (§5.1.3.1).
+class OnOffTraffic {
+ public:
+  struct Config {
+    double rate_bps = 5e6;
+    std::uint32_t packet_bytes = 1024;
+    sim::Duration mean_on = sim::Duration::ms(200);
+    sim::Duration mean_off = sim::Duration::ms(800);
+    std::uint16_t dst_port = kTrafficSinkPort;
+    net::TrafficClass traffic_class = net::TrafficClass::kOther;
+  };
+
+  OnOffTraffic(net::Host& host, net::IpAddr dst, Config config,
+               util::Rng rng);
+
+  void start();
+  void stop();
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  bool in_on_period() const { return on_; }
+
+ private:
+  void enter_on();
+  void enter_off();
+  void send_one();
+
+  net::Host& host_;
+  net::IpAddr dst_;
+  Config config_;
+  util::Rng rng_;
+  net::UdpSocket& socket_;
+  sim::PeriodicTask send_task_;
+  sim::EventHandle phase_timer_;
+  bool running_ = false;
+  bool on_ = false;
+  std::uint64_t packets_sent_ = 0;
+};
+
+}  // namespace netmon::apps

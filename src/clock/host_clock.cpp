@@ -1,0 +1,3 @@
+#include "clock/host_clock.hpp"
+
+// HostClock is header-only; this translation unit anchors the library target.

@@ -1,0 +1,60 @@
+#pragma once
+
+// Per-host real-time clock. Hosts never see true simulated time directly:
+// timestamps they place in packets (NTTCP probes, SNMP sysUpTime, RMON
+// buckets) come from here, so clock offset, drift, and reading granularity
+// affect measurements exactly as they did in the paper's testbed (§5.1.3.2,
+// §5.2.4 "clock granularity appears to be limited").
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace netmon::clk {
+
+class HostClock {
+ public:
+  // offset: initial error vs true time; drift_ppm: rate error in parts per
+  // million; granularity: reading quantum (e.g. 10 ms COTS tick).
+  HostClock(sim::Simulator& sim, sim::Duration offset = sim::Duration::ns(0),
+            double drift_ppm = 0.0,
+            sim::Duration granularity = sim::Duration::ns(1))
+      : sim_(&sim), offset_(offset), drift_ppm_(drift_ppm),
+        granularity_(granularity) {}
+
+  // The local reading, quantized to the clock granularity.
+  sim::TimePoint local_now() const {
+    const std::int64_t raw = raw_local_nanos();
+    const std::int64_t g = granularity_.nanos();
+    const std::int64_t q = g <= 1 ? raw : (raw / g) * g;
+    return sim::TimePoint::from_nanos(q);
+  }
+
+  // Signed error (local - true) at this instant, unquantized. Experiments
+  // read this to score synchronization quality; protocols must not.
+  sim::Duration true_error() const {
+    return sim::Duration::ns(raw_local_nanos() - sim_->now().nanos());
+  }
+
+  // Slew/step the clock by delta (NTP adjustment path).
+  void adjust(sim::Duration delta) { offset_ += delta; }
+
+  sim::Duration configured_offset() const { return offset_; }
+  double drift_ppm() const { return drift_ppm_; }
+  sim::Duration granularity() const { return granularity_; }
+  void set_granularity(sim::Duration g) { granularity_ = g; }
+
+ private:
+  std::int64_t raw_local_nanos() const {
+    const std::int64_t t = sim_->now().nanos();
+    const double drifted =
+        static_cast<double>(t) * (drift_ppm_ * 1e-6);
+    return t + offset_.nanos() + static_cast<std::int64_t>(drifted);
+  }
+
+  sim::Simulator* sim_;
+  sim::Duration offset_;
+  double drift_ppm_;
+  sim::Duration granularity_;
+};
+
+}  // namespace netmon::clk

@@ -1,0 +1,87 @@
+#include "clock/ntp.hpp"
+
+#include <memory>
+
+#include "util/logging.hpp"
+
+namespace netmon::clk {
+
+NtpServer::NtpServer(net::Host& host, std::uint16_t port)
+    : host_(host),
+      socket_(host.udp().bind(port, [this](const net::Packet& p) {
+        auto req = net::payload_as<NtpPayload>(p);
+        if (!req || req->response) return;
+        ++requests_served_;
+        auto reply = std::make_shared<NtpPayload>(*req);
+        reply->response = true;
+        reply->t2 = host_.clock().local_now();
+        reply->t3 = host_.clock().local_now();
+        socket_.send_to(p.src, p.src_port, kNtpPacketBytes, std::move(reply),
+                        net::TrafficClass::kClockSync);
+      })) {}
+
+NtpClient::NtpClient(net::Host& host, net::IpAddr server)
+    : NtpClient(host, server, Config{}) {}
+
+NtpClient::NtpClient(net::Host& host, net::IpAddr server, Config config)
+    : host_(host),
+      server_(server),
+      config_(config),
+      socket_(host.udp().bind(
+          0, [this](const net::Packet& p) { on_response(p); })) {}
+
+void NtpClient::start() {
+  poll_once();
+  task_ = sim::PeriodicTask(host_.simulator(), config_.poll_interval,
+                            [this] { poll_once(); });
+}
+
+void NtpClient::stop() { task_.cancel(); }
+
+void NtpClient::poll_once() {
+  auto req = std::make_shared<NtpPayload>();
+  req->seq = next_seq_++;
+  req->t1 = host_.clock().local_now();
+  awaiting_seq_ = req->seq;
+  sent_local_ = req->t1;
+  ++polls_sent_;
+  socket_.send_to(server_, kNtpPort, kNtpPacketBytes, std::move(req),
+                  net::TrafficClass::kClockSync);
+}
+
+void NtpClient::on_response(const net::Packet& packet) {
+  auto resp = net::payload_as<NtpPayload>(packet);
+  if (!resp || !resp->response || resp->seq != awaiting_seq_) return;
+  awaiting_seq_ = 0;
+  ++responses_;
+
+  const sim::TimePoint t4 = host_.clock().local_now();
+  const sim::TimePoint t1 = resp->t1;
+  const sim::TimePoint t2 = resp->t2;
+  const sim::TimePoint t3 = resp->t3;
+  // Standard NTP offset/delay estimators.
+  const std::int64_t offset_ns =
+      ((t2 - t1).nanos() + (t3 - t4).nanos()) / 2;
+  const std::int64_t delay_ns = (t4 - t1).nanos() - (t3 - t2).nanos();
+  last_offset_ = sim::Duration::ns(offset_ns);
+  last_delay_ = sim::Duration::ns(delay_ns);
+  offset_stats_.add(static_cast<double>(offset_ns) / 1e9);
+
+  // Positive offset means the server clock is ahead of ours.
+  if (std::abs(offset_ns) >= config_.step_threshold.nanos()) {
+    host_.clock().adjust(last_offset_);
+  } else {
+    const auto slew = static_cast<std::int64_t>(
+        static_cast<double>(offset_ns) * config_.slew_gain);
+    host_.clock().adjust(sim::Duration::ns(slew));
+  }
+}
+
+std::uint64_t NtpClient::bytes_sent() const {
+  // Client request wire size: payload + UDP/IP headers + frame overhead.
+  const std::uint64_t per_packet =
+      kNtpPacketBytes + 28 + net::Frame::kFrameOverheadBytes;
+  return polls_sent_ * per_packet;
+}
+
+}  // namespace netmon::clk

@@ -1,0 +1,84 @@
+#pragma once
+
+// SNTP-style clock synchronization over UDP. The paper (§5.1.3.2) found that
+// computing clock offsets in-band per measurement was "significantly
+// intrusive compared to the overhead of running a clock synchronization
+// protocol (e.g. NTP)"; this pair of classes is the NTP side of that trade.
+
+#include <cstdint>
+
+#include "net/host.hpp"
+#include "net/udp.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace netmon::clk {
+
+constexpr std::uint16_t kNtpPort = 123;
+// Real NTP packets are 48 bytes of UDP payload.
+constexpr std::uint32_t kNtpPacketBytes = 48;
+
+struct NtpPayload : net::Payload {
+  std::uint32_t seq = 0;
+  bool response = false;
+  sim::TimePoint t1;  // client transmit (client clock)
+  sim::TimePoint t2;  // server receive (server clock)
+  sim::TimePoint t3;  // server transmit (server clock)
+};
+
+class NtpServer {
+ public:
+  explicit NtpServer(net::Host& host, std::uint16_t port = kNtpPort);
+  std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  net::Host& host_;
+  net::UdpSocket& socket_;
+  std::uint64_t requests_served_ = 0;
+};
+
+class NtpClient {
+ public:
+  struct Config {
+    sim::Duration poll_interval = sim::Duration::sec(16);
+    // Offsets larger than this are stepped; smaller ones are slewed.
+    sim::Duration step_threshold = sim::Duration::ms(128);
+    double slew_gain = 0.5;
+    sim::Duration response_timeout = sim::Duration::sec(2);
+  };
+
+  NtpClient(net::Host& host, net::IpAddr server);
+  NtpClient(net::Host& host, net::IpAddr server, Config config);
+
+  void start();
+  void stop();
+  // One synchronous-style exchange (still asynchronous inside the sim).
+  void poll_once();
+
+  std::uint64_t polls_sent() const { return polls_sent_; }
+  std::uint64_t responses() const { return responses_; }
+  sim::Duration last_measured_offset() const { return last_offset_; }
+  sim::Duration last_round_trip() const { return last_delay_; }
+  const util::Accumulator& offset_history() const { return offset_stats_; }
+  // Bytes this client has put on the wire (client side only).
+  std::uint64_t bytes_sent() const;
+
+ private:
+  void on_response(const net::Packet& packet);
+
+  net::Host& host_;
+  net::IpAddr server_;
+  Config config_;
+  net::UdpSocket& socket_;
+  sim::PeriodicTask task_;
+  std::uint32_t next_seq_ = 1;
+  std::uint32_t awaiting_seq_ = 0;
+  sim::TimePoint sent_local_{};
+  std::uint64_t polls_sent_ = 0;
+  std::uint64_t responses_ = 0;
+  sim::Duration last_offset_{};
+  sim::Duration last_delay_{};
+  util::Accumulator offset_stats_;
+};
+
+}  // namespace netmon::clk

@@ -1,0 +1,47 @@
+#include "core/measurement_db.hpp"
+
+namespace netmon::core {
+
+void MeasurementDatabase::record(const Path& path, Metric metric,
+                                 const MetricValue& value) {
+  auto [it, inserted] =
+      series_.try_emplace(Key{path, metric}, history_depth_);
+  Series& series = it->second;
+  const Measurement m{value};
+  series.history.push(m);
+  if (value.valid) series.last_valid = m;
+  ++records_written_;
+}
+
+std::optional<Measurement> MeasurementDatabase::current(
+    const Path& path, Metric metric, sim::TimePoint now,
+    sim::Duration max_age) const {
+  auto it = series_.find(Key{path, metric});
+  if (it == series_.end() || !it->second.last_valid) return std::nullopt;
+  const Measurement& m = *it->second.last_valid;
+  if (m.age(now) > max_age) return std::nullopt;
+  return m;
+}
+
+std::optional<Measurement> MeasurementDatabase::last_known(
+    const Path& path, Metric metric) const {
+  auto it = series_.find(Key{path, metric});
+  if (it == series_.end()) return std::nullopt;
+  return it->second.last_valid;
+}
+
+std::optional<sim::Duration> MeasurementDatabase::senescence(
+    const Path& path, Metric metric, sim::TimePoint now) const {
+  auto it = series_.find(Key{path, metric});
+  if (it == series_.end() || it->second.history.empty()) return std::nullopt;
+  return it->second.history.newest().age(now);
+}
+
+const util::RingBuffer<Measurement>* MeasurementDatabase::history(
+    const Path& path, Metric metric) const {
+  auto it = series_.find(Key{path, metric});
+  if (it == series_.end()) return nullptr;
+  return &it->second.history;
+}
+
+}  // namespace netmon::core

@@ -1,0 +1,64 @@
+#pragma once
+
+// The monitor's database (paper §4.1): "enables both current value and last
+// known value reporting to the resource manager". Also the home of the
+// senescence component of fidelity (§4.4): the age of the newest sample for
+// a (path, metric) pair.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/path.hpp"
+#include "sim/time.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace netmon::core {
+
+struct Measurement {
+  MetricValue value;
+  // Age helper relative to `now`.
+  sim::Duration age(sim::TimePoint now) const {
+    return now - value.measured_at;
+  }
+};
+
+class MeasurementDatabase {
+ public:
+  explicit MeasurementDatabase(std::size_t history_depth = 64)
+      : history_depth_(history_depth) {}
+
+  void record(const Path& path, Metric metric, const MetricValue& value);
+
+  // Current-value semantics: the newest sample iff it is younger than
+  // max_age (and was a successful measurement).
+  std::optional<Measurement> current(const Path& path, Metric metric,
+                                     sim::TimePoint now,
+                                     sim::Duration max_age) const;
+  // Last-known-value semantics: the newest *successful* sample regardless
+  // of age — what the manager falls back to when sensors go quiet.
+  std::optional<Measurement> last_known(const Path& path, Metric metric) const;
+  // Age of the newest sample (successful or not); nullopt if never sampled.
+  std::optional<sim::Duration> senescence(const Path& path, Metric metric,
+                                          sim::TimePoint now) const;
+
+  const util::RingBuffer<Measurement>* history(const Path& path,
+                                               Metric metric) const;
+
+  std::uint64_t records_written() const { return records_written_; }
+  std::size_t tracked_series() const { return series_.size(); }
+
+ private:
+  struct Series {
+    util::RingBuffer<Measurement> history;
+    std::optional<Measurement> last_valid;
+    explicit Series(std::size_t depth) : history(depth) {}
+  };
+  using Key = std::pair<Path, Metric>;
+
+  std::size_t history_depth_;
+  std::map<Key, Series> series_;
+  std::uint64_t records_written_ = 0;
+};
+
+}  // namespace netmon::core

@@ -1,0 +1,52 @@
+#include "core/path.hpp"
+
+#include <stdexcept>
+
+namespace netmon::core {
+
+std::string ProcessEndpoint::to_string() const {
+  std::string out = process;
+  out += '@';
+  out += host.to_string();
+  if (port != 0) {
+    out += ':';
+    out += std::to_string(port);
+  }
+  return out;
+}
+
+Path::Path(std::vector<ProcessEndpoint> endpoints)
+    : endpoints_(std::move(endpoints)) {
+  if (endpoints_.size() < 2) {
+    throw std::invalid_argument("Path: needs at least two endpoints");
+  }
+}
+
+Path::Path(ProcessEndpoint from, ProcessEndpoint to)
+    : Path(std::vector<ProcessEndpoint>{std::move(from), std::move(to)}) {}
+
+std::pair<const ProcessEndpoint&, const ProcessEndpoint&> Path::leg(
+    std::size_t i) const {
+  if (i + 1 >= endpoints_.size()) throw std::out_of_range("Path::leg");
+  return {endpoints_[i], endpoints_[i + 1]};
+}
+
+std::string Path::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (i) out += " -> ";
+    out += endpoints_[i].to_string();
+  }
+  return out;
+}
+
+const char* to_string(Metric metric) {
+  switch (metric) {
+    case Metric::kThroughput: return "throughput";
+    case Metric::kOneWayLatency: return "one-way-latency";
+    case Metric::kReachability: return "reachability";
+  }
+  return "?";
+}
+
+}  // namespace netmon::core

@@ -1,0 +1,77 @@
+#pragma once
+
+// The dynamic-path abstraction (paper §3, after Welch [2]): instead of
+// monitoring the communication infrastructure as a whole, the resource
+// manager names application-level paths — ordered lists of application
+// processes — and the metrics to collect on each.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "sim/time.hpp"
+
+namespace netmon::core {
+
+struct ProcessEndpoint {
+  std::string process;  // e.g. "rtds-server"
+  net::IpAddr host;
+  std::uint16_t port = 0;
+
+  auto operator<=>(const ProcessEndpoint&) const = default;
+  std::string to_string() const;
+};
+
+class Path {
+ public:
+  Path() = default;
+  // Requires at least two endpoints.
+  explicit Path(std::vector<ProcessEndpoint> endpoints);
+  Path(ProcessEndpoint from, ProcessEndpoint to);
+
+  const std::vector<ProcessEndpoint>& endpoints() const { return endpoints_; }
+  const ProcessEndpoint& source() const { return endpoints_.front(); }
+  const ProcessEndpoint& destination() const { return endpoints_.back(); }
+  std::size_t leg_count() const { return endpoints_.size() - 1; }
+  std::pair<const ProcessEndpoint&, const ProcessEndpoint&> leg(
+      std::size_t i) const;
+
+  std::string to_string() const;  // "a@10.0.0.1 -> b@10.0.0.2"
+
+  auto operator<=>(const Path&) const = default;
+
+ private:
+  std::vector<ProcessEndpoint> endpoints_;
+};
+
+enum class Metric : std::uint8_t {
+  kThroughput,     // end-to-end application-level throughput, bits/second
+  kOneWayLatency,  // seconds
+  kReachability,   // 1.0 reachable / 0.0 not
+};
+constexpr std::size_t kMetricCount = 3;
+const char* to_string(Metric metric);
+
+struct MetricValue {
+  double value = 0.0;
+  bool valid = false;          // false: the measurement itself failed
+  sim::TimePoint measured_at;  // true simulation time of completion
+
+  static MetricValue of(double v, sim::TimePoint at) {
+    return MetricValue{v, true, at};
+  }
+  static MetricValue failed(sim::TimePoint at) {
+    return MetricValue{0.0, false, at};
+  }
+};
+
+// The (path, metric) tuple reported to the resource manager (paper §4.1).
+struct PathMetricTuple {
+  Path path;
+  Metric metric = Metric::kThroughput;
+  MetricValue value;
+};
+
+}  // namespace netmon::core

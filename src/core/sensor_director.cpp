@@ -1,0 +1,153 @@
+#include "core/sensor_director.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace netmon::core {
+
+SensorDirector::SensorDirector(sim::Simulator& sim, std::size_t max_concurrent)
+    : sim_(sim), sequencer_(max_concurrent) {}
+
+void SensorDirector::register_sensor(Metric metric, NetworkSensor* sensor) {
+  if (sensor != nullptr && !sensor->supports(metric)) {
+    throw std::invalid_argument("SensorDirector: sensor " + sensor->name() +
+                                " does not support metric " +
+                                std::string(to_string(metric)));
+  }
+  sensors_[static_cast<std::size_t>(metric)] = sensor;
+}
+
+NetworkSensor* SensorDirector::sensor_for(Metric metric) const {
+  return sensors_[static_cast<std::size_t>(metric)];
+}
+
+SensorDirector::RequestId SensorDirector::submit(MonitorRequest request,
+                                                 TupleCallback on_tuple,
+                                                 RoundCallback on_round) {
+  if (request.paths.empty()) {
+    throw std::invalid_argument("SensorDirector::submit: empty path list");
+  }
+  for (const PathRequest& pr : request.paths) {
+    for (Metric metric : pr.metrics) {
+      if (sensor_for(metric) == nullptr) {
+        throw std::logic_error(
+            "SensorDirector::submit: no sensor registered for metric " +
+            std::string(to_string(metric)));
+      }
+    }
+  }
+  auto active = std::make_shared<ActiveRequest>();
+  active->id = next_id_++;
+  active->request = std::move(request);
+  active->on_tuple = std::move(on_tuple);
+  active->on_round = std::move(on_round);
+  requests_[active->id] = active;
+  ++stats_.requests_accepted;
+  start_round(active);
+  return active->id;
+}
+
+void SensorDirector::cancel(RequestId id) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return;
+  it->second->cancelled = true;  // in-flight jobs drain silently
+  requests_.erase(it);
+}
+
+void SensorDirector::start_round(std::shared_ptr<ActiveRequest> request) {
+  if (request->cancelled) return;
+  request->round_started = sim_.now();
+  request->round_tuples.clear();
+  request->outstanding = 0;
+  for (const PathRequest& pr : request->request.paths) {
+    request->outstanding += pr.metrics.size();
+  }
+  if (request->outstanding == 0) {
+    round_finished(request);
+    return;
+  }
+  for (const PathRequest& pr : request->request.paths) {
+    for (Metric metric : pr.metrics) {
+      NetworkSensor* sensor = sensor_for(metric);
+      sequencer_.enqueue([this, request, sensor, path = pr.path,
+                          metric](TestSequencer::Done done) {
+        if (request->cancelled) {
+          // Account for the skipped job so the round can still close out.
+          job_finished(request, path, metric,
+                       MetricValue::failed(sim_.now()));
+          done();
+          return;
+        }
+        ++stats_.measurements_started;
+        sensor->measure(path, metric,
+                        [this, request, path, metric,
+                         done](MetricValue value) {
+                          job_finished(request, path, metric, value);
+                          done();
+                        });
+      });
+    }
+  }
+}
+
+void SensorDirector::job_finished(
+    const std::shared_ptr<ActiveRequest>& request, const Path& path,
+    Metric metric, MetricValue value) {
+  ++stats_.measurements_completed;
+  if (!value.valid) ++stats_.measurements_failed;
+
+  if (!request->cancelled) {
+    if (request->request.record_to_database) {
+      database_.record(path, metric, value);
+    }
+    PathMetricTuple tuple{path, metric, value};
+    if (request->request.reporting == MonitorRequest::Reporting::kSynchronous) {
+      request->round_tuples.push_back(tuple);
+    } else if (request->on_tuple) {
+      ++stats_.tuples_reported;
+      request->on_tuple(tuple);
+    }
+  }
+
+  if (request->outstanding == 0) return;  // defensive; should not happen
+  if (--request->outstanding == 0) round_finished(request);
+}
+
+void SensorDirector::round_finished(
+    const std::shared_ptr<ActiveRequest>& request) {
+  ++stats_.rounds_completed;
+  if (!request->cancelled &&
+      request->request.reporting == MonitorRequest::Reporting::kSynchronous) {
+    stats_.tuples_reported += request->round_tuples.size();
+    if (request->on_round) request->on_round(request->round_tuples);
+    // Synchronous mode also supports a per-tuple callback for convenience.
+    if (request->on_tuple) {
+      for (const auto& tuple : request->round_tuples) {
+        request->on_tuple(tuple);
+      }
+    }
+  }
+
+  if (request->cancelled) return;
+  switch (request->request.mode) {
+    case MonitorRequest::Mode::kOnce:
+      requests_.erase(request->id);
+      break;
+    case MonitorRequest::Mode::kContinuous:
+      // Immediately begin the next round (the sequencer still bounds
+      // concurrency, so this is the paper's cycling sequencer).
+      sim_.schedule_in(sim::Duration::ns(0),
+                       [this, request] { start_round(request); });
+      break;
+    case MonitorRequest::Mode::kPeriodic: {
+      const sim::TimePoint next =
+          request->round_started + request->request.period;
+      const sim::TimePoint at = next > sim_.now() ? next : sim_.now();
+      sim_.schedule_at(at, [this, request] { start_round(request); });
+      break;
+    }
+  }
+}
+
+}  // namespace netmon::core

@@ -1,0 +1,121 @@
+#pragma once
+
+// The sensor director (paper §4.1, Figure 2): receives requests from the
+// resource manager as lists of (path, metrics), initiates collection via
+// network sensors (through the test sequencer), records results in the
+// measurement database, and reports (path, metric) tuples back either
+// synchronously (batched per round) or asynchronously (per measurement).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/measurement_db.hpp"
+#include "core/path.hpp"
+#include "core/sequencer.hpp"
+#include "sim/simulator.hpp"
+
+namespace netmon::core {
+
+// A network sensor collects one metric sample for one path (paper §4.1:
+// "network sensors are responsible for collecting network performance
+// data"). Implementations exist at different instrumentation points.
+class NetworkSensor {
+ public:
+  using Done = std::function<void(MetricValue)>;
+
+  virtual ~NetworkSensor() = default;
+  virtual std::string name() const = 0;
+  virtual bool supports(Metric metric) const = 0;
+  // Must invoke `done` exactly once (possibly with a failed MetricValue).
+  virtual void measure(const Path& path, Metric metric, Done done) = 0;
+};
+
+struct PathRequest {
+  Path path;
+  std::vector<Metric> metrics;
+};
+
+struct MonitorRequest {
+  std::vector<PathRequest> paths;
+
+  enum class Mode {
+    kOnce,        // one round of measurements
+    kContinuous,  // re-run each round as soon as the previous finishes
+    kPeriodic,    // rounds start every `period`
+  };
+  Mode mode = Mode::kOnce;
+  sim::Duration period = sim::Duration::sec(5);
+
+  enum class Reporting {
+    kAsynchronous,  // each tuple pushed as its measurement completes
+    kSynchronous,   // all tuples of a round delivered together at round end
+  };
+  Reporting reporting = Reporting::kAsynchronous;
+
+  bool record_to_database = true;
+};
+
+struct DirectorStats {
+  std::uint64_t requests_accepted = 0;
+  std::uint64_t measurements_started = 0;
+  std::uint64_t measurements_completed = 0;
+  std::uint64_t measurements_failed = 0;  // completed with valid == false
+  std::uint64_t tuples_reported = 0;
+  std::uint64_t rounds_completed = 0;
+};
+
+class SensorDirector {
+ public:
+  using TupleCallback = std::function<void(const PathMetricTuple&)>;
+  using RoundCallback =
+      std::function<void(const std::vector<PathMetricTuple>&)>;
+  using RequestId = std::uint64_t;
+
+  SensorDirector(sim::Simulator& sim, std::size_t max_concurrent = 1);
+
+  // Sensor registration; the last sensor registered for a metric wins.
+  void register_sensor(Metric metric, NetworkSensor* sensor);
+  NetworkSensor* sensor_for(Metric metric) const;
+
+  // Resource-manager interface. Either callback may be null.
+  RequestId submit(MonitorRequest request, TupleCallback on_tuple,
+                   RoundCallback on_round = nullptr);
+  void cancel(RequestId id);
+  bool active(RequestId id) const { return requests_.count(id) != 0; }
+
+  MeasurementDatabase& database() { return database_; }
+  const MeasurementDatabase& database() const { return database_; }
+  TestSequencer& sequencer() { return sequencer_; }
+  const DirectorStats& stats() const { return stats_; }
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  struct ActiveRequest {
+    RequestId id;
+    MonitorRequest request;
+    TupleCallback on_tuple;
+    RoundCallback on_round;
+    std::vector<PathMetricTuple> round_tuples;
+    std::size_t outstanding = 0;
+    sim::TimePoint round_started;
+    bool cancelled = false;
+  };
+
+  void start_round(std::shared_ptr<ActiveRequest> request);
+  void job_finished(const std::shared_ptr<ActiveRequest>& request,
+                    const Path& path, Metric metric, MetricValue value);
+  void round_finished(const std::shared_ptr<ActiveRequest>& request);
+
+  sim::Simulator& sim_;
+  TestSequencer sequencer_;
+  MeasurementDatabase database_;
+  std::array<NetworkSensor*, kMetricCount> sensors_{};
+  std::map<RequestId, std::shared_ptr<ActiveRequest>> requests_;
+  RequestId next_id_ = 1;
+  DirectorStats stats_;
+};
+
+}  // namespace netmon::core

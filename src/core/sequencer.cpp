@@ -1,0 +1,41 @@
+#include "core/sequencer.hpp"
+
+#include <stdexcept>
+
+namespace netmon::core {
+
+TestSequencer::TestSequencer(std::size_t max_concurrent)
+    : max_concurrent_(max_concurrent) {
+  if (max_concurrent_ == 0) {
+    throw std::invalid_argument("TestSequencer: max_concurrent must be >= 1");
+  }
+}
+
+void TestSequencer::set_max_concurrent(std::size_t max_concurrent) {
+  if (max_concurrent == 0) {
+    throw std::invalid_argument("TestSequencer: max_concurrent must be >= 1");
+  }
+  max_concurrent_ = max_concurrent;
+  pump();
+}
+
+void TestSequencer::enqueue(Task task) {
+  queue_.push_back(std::move(task));
+  pump();
+}
+
+void TestSequencer::pump() {
+  while (in_flight_ < max_concurrent_ && !queue_.empty()) {
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    // The Done callback may fire synchronously or much later; both are fine.
+    task([this] {
+      --in_flight_;
+      ++completed_;
+      pump();
+    });
+  }
+}
+
+}  // namespace netmon::core

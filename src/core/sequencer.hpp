@@ -1,0 +1,45 @@
+#pragma once
+
+// Test sequencer (paper §5.1.4): bounds how many active measurements run at
+// once. max_concurrent = unlimited reproduces the intrusive all-paths-in-
+// parallel mode (peak overhead C·S·L/P); max_concurrent = 1 is the paper's
+// serial sequencer (peak overhead L/P, senescence C·S·T).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+
+namespace netmon::core {
+
+class TestSequencer {
+ public:
+  // A task receives a completion callback it must invoke exactly once.
+  using Done = std::function<void()>;
+  using Task = std::function<void(Done)>;
+
+  static constexpr std::size_t kUnlimited =
+      std::numeric_limits<std::size_t>::max();
+
+  explicit TestSequencer(std::size_t max_concurrent = 1);
+
+  void set_max_concurrent(std::size_t max_concurrent);
+  std::size_t max_concurrent() const { return max_concurrent_; }
+
+  void enqueue(Task task);
+
+  std::size_t in_flight() const { return in_flight_; }
+  std::size_t queued() const { return queue_.size(); }
+  std::uint64_t completed() const { return completed_; }
+  bool idle() const { return in_flight_ == 0 && queue_.empty(); }
+
+ private:
+  void pump();
+
+  std::size_t max_concurrent_;
+  std::size_t in_flight_ = 0;
+  std::uint64_t completed_ = 0;
+  std::deque<Task> queue_;
+};
+
+}  // namespace netmon::core

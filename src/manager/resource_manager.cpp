@@ -1,0 +1,172 @@
+#include "manager/resource_manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace netmon::mgr {
+
+ResourceManager::ResourceManager(core::SensorDirector& director, Config config)
+    : director_(director), config_(std::move(config)) {
+  if (config_.strikes < 1) {
+    throw std::invalid_argument("ResourceManager: strikes must be >= 1");
+  }
+}
+
+core::MonitorRequest ResourceManager::build_request(
+    const ManagedApplication& app) const {
+  core::MonitorRequest request;
+  for (net::IpAddr server : app.server_pool) {
+    for (net::IpAddr client : app.client_pool) {
+      core::PathRequest pr;
+      pr.path = core::Path(
+          core::ProcessEndpoint{app.name + "-server", server, app.port},
+          core::ProcessEndpoint{app.name + "-client", client, app.port});
+      pr.metrics = config_.metrics;
+      request.paths.push_back(std::move(pr));
+    }
+  }
+  request.mode = config_.mode;
+  request.period = config_.period;
+  request.reporting = core::MonitorRequest::Reporting::kAsynchronous;
+  return request;
+}
+
+void ResourceManager::manage(ManagedApplication app,
+                             net::IpAddr initial_server) {
+  if (std::find(app.server_pool.begin(), app.server_pool.end(),
+                initial_server) == app.server_pool.end()) {
+    throw std::invalid_argument(
+        "ResourceManager::manage: initial server not in pool");
+  }
+  const std::string name = app.name;
+  AppState state;
+  state.app = std::move(app);
+  state.active = initial_server;
+  auto [it, inserted] = apps_.emplace(name, std::move(state));
+  if (!inserted) {
+    throw std::logic_error("ResourceManager: already managing " + name);
+  }
+  it->second.request = director_.submit(
+      build_request(it->second.app),
+      [this, name](const core::PathMetricTuple& tuple) {
+        on_tuple(name, tuple);
+      });
+}
+
+void ResourceManager::stop(const std::string& application) {
+  auto it = apps_.find(application);
+  if (it == apps_.end()) return;
+  director_.cancel(it->second.request);
+  apps_.erase(it);
+}
+
+net::IpAddr ResourceManager::active_server(
+    const std::string& application) const {
+  auto it = apps_.find(application);
+  if (it == apps_.end()) {
+    throw std::out_of_range("ResourceManager: unknown application " +
+                            application);
+  }
+  return it->second.active;
+}
+
+bool ResourceManager::tuple_is_bad(const Requirements& req,
+                                   const core::PathMetricTuple& tuple) const {
+  if (!tuple.value.valid) return true;  // the measurement itself failed
+  switch (tuple.metric) {
+    case core::Metric::kReachability:
+      return req.require_reachability && tuple.value.value < 0.5;
+    case core::Metric::kThroughput:
+      return req.min_throughput_bps > 0.0 &&
+             tuple.value.value < req.min_throughput_bps;
+    case core::Metric::kOneWayLatency:
+      return req.max_latency_s > 0.0 && tuple.value.value > req.max_latency_s;
+  }
+  return false;
+}
+
+void ResourceManager::on_tuple(const std::string& app_name,
+                               const core::PathMetricTuple& tuple) {
+  auto it = apps_.find(app_name);
+  if (it == apps_.end()) return;
+  AppState& state = it->second;
+  ++tuples_consumed_;
+
+  const net::IpAddr server = tuple.path.source().host;
+  const net::IpAddr client = tuple.path.destination().host;
+  int& strikes = state.strikes[{server, client}];
+  if (tuple_is_bad(state.app.requirements, tuple)) {
+    ++strikes;
+  } else if (tuple.metric == core::Metric::kReachability ||
+             tuple.metric == core::Metric::kThroughput) {
+    // Any passing liveness-bearing sample clears the path's strikes.
+    strikes = 0;
+  }
+  maybe_reconfigure(state);
+}
+
+double ResourceManager::failing_fraction(const std::string& application,
+                                         net::IpAddr server) const {
+  auto it = apps_.find(application);
+  if (it == apps_.end()) return 0.0;
+  const AppState& state = it->second;
+  if (state.app.client_pool.empty()) return 0.0;
+  std::size_t failed = 0;
+  for (net::IpAddr client : state.app.client_pool) {
+    auto sit = state.strikes.find({server, client});
+    if (sit != state.strikes.end() && sit->second >= config_.strikes) {
+      ++failed;
+    }
+  }
+  return static_cast<double>(failed) /
+         static_cast<double>(state.app.client_pool.size());
+}
+
+std::optional<net::IpAddr> ResourceManager::pick_replacement(
+    const AppState& state) const {
+  // Choose the pool member with the lowest failing fraction; ties go to
+  // pool order. The active (failed) server is excluded.
+  std::optional<net::IpAddr> best;
+  double best_fraction = 2.0;
+  for (net::IpAddr candidate : state.app.server_pool) {
+    if (candidate == state.active) continue;
+    const double fraction = failing_fraction(state.app.name, candidate);
+    if (fraction < best_fraction) {
+      best_fraction = fraction;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+void ResourceManager::maybe_reconfigure(AppState& state) {
+  const double fraction = failing_fraction(state.app.name, state.active);
+  if (fraction < config_.failure_fraction) return;
+
+  auto replacement = pick_replacement(state);
+  if (!replacement) {
+    NETMON_WARN("mgr", state.app.name,
+                ": active server degraded but no replacement available");
+    return;
+  }
+  const net::IpAddr old_server = state.active;
+  state.active = *replacement;
+  ++reconfigurations_;
+  // Give the new server a clean slate so a stale strike doesn't bounce us.
+  for (net::IpAddr client : state.app.client_pool) {
+    state.strikes[{state.active, client}] = 0;
+  }
+  NETMON_INFO("mgr", state.app.name, ": reconfiguring ",
+              old_server.to_string(), " -> ", state.active.to_string(),
+              " (failing fraction ", fraction, ")");
+  if (on_reconfig_) {
+    on_reconfig_(ReconfigurationEvent{
+        state.app.name, old_server, state.active,
+        director_.simulator().now(),
+        "failing fraction " + std::to_string(fraction)});
+  }
+}
+
+}  // namespace netmon::mgr

@@ -1,0 +1,108 @@
+#pragma once
+
+// Resource manager (paper §1, Figure 1): consumes (path, metric) tuples
+// from a network resource monitor and reconfigures the system from its
+// replicated pools when critical components fail or resources fall below
+// requirements. Mirrors the HiPer-D RTDS arrangement (§5.1): a pool of S
+// servers and C clients, with the full S×C path matrix monitored.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sensor_director.hpp"
+
+namespace netmon::mgr {
+
+struct Requirements {
+  // <= 0 disables a check.
+  double min_throughput_bps = 0.0;
+  double max_latency_s = 0.0;
+  bool require_reachability = true;
+};
+
+struct ManagedApplication {
+  std::string name;
+  std::vector<net::IpAddr> server_pool;
+  std::vector<net::IpAddr> client_pool;
+  std::uint16_t port = 0;
+  Requirements requirements;
+};
+
+struct ReconfigurationEvent {
+  std::string application;
+  net::IpAddr old_server;
+  net::IpAddr new_server;
+  sim::TimePoint at;
+  std::string reason;
+};
+
+class ResourceManager {
+ public:
+  struct Config {
+    // How the monitor is driven.
+    core::MonitorRequest::Mode mode = core::MonitorRequest::Mode::kContinuous;
+    sim::Duration period = sim::Duration::sec(2);
+    std::vector<core::Metric> metrics = {core::Metric::kReachability,
+                                         core::Metric::kThroughput};
+    // A path is failed after this many consecutive bad samples.
+    int strikes = 2;
+    // The active server is failed when at least this fraction of its
+    // client paths are failed.
+    double failure_fraction = 0.5;
+  };
+
+  using ReconfigCallback = std::function<void(const ReconfigurationEvent&)>;
+
+  ResourceManager(core::SensorDirector& director, Config config);
+
+  // Starts monitoring the full server×client path matrix and managing the
+  // active server. `initial_server` must be in the pool.
+  void manage(ManagedApplication app, net::IpAddr initial_server);
+  void stop(const std::string& application);
+
+  net::IpAddr active_server(const std::string& application) const;
+  void set_reconfiguration_callback(ReconfigCallback cb) {
+    on_reconfig_ = std::move(cb);
+  }
+
+  // Failing-path fraction for a server of an application (diagnostics).
+  double failing_fraction(const std::string& application,
+                          net::IpAddr server) const;
+
+  std::uint64_t tuples_consumed() const { return tuples_consumed_; }
+  std::uint64_t reconfigurations() const { return reconfigurations_; }
+
+ private:
+  struct PathHealth {
+    int consecutive_failures = 0;
+    bool failed() const { return consecutive_failures >= 0; }  // see config
+  };
+  struct AppState {
+    ManagedApplication app;
+    net::IpAddr active;
+    core::SensorDirector::RequestId request = 0;
+    // (server, client) -> consecutive bad samples
+    std::map<std::pair<net::IpAddr, net::IpAddr>, int> strikes;
+  };
+
+  void on_tuple(const std::string& app_name,
+                const core::PathMetricTuple& tuple);
+  bool tuple_is_bad(const Requirements& req,
+                    const core::PathMetricTuple& tuple) const;
+  void maybe_reconfigure(AppState& state);
+  std::optional<net::IpAddr> pick_replacement(const AppState& state) const;
+  core::MonitorRequest build_request(const ManagedApplication& app) const;
+
+  core::SensorDirector& director_;
+  Config config_;
+  ReconfigCallback on_reconfig_;
+  std::map<std::string, AppState> apps_;
+  std::uint64_t tuples_consumed_ = 0;
+  std::uint64_t reconfigurations_ = 0;
+};
+
+}  // namespace netmon::mgr

@@ -1,0 +1,55 @@
+#include "net/address.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace netmon::net {
+
+std::string MacAddr::to_string() const {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                unsigned((raw_ >> 40) & 0xFF), unsigned((raw_ >> 32) & 0xFF),
+                unsigned((raw_ >> 24) & 0xFF), unsigned((raw_ >> 16) & 0xFF),
+                unsigned((raw_ >> 8) & 0xFF), unsigned(raw_ & 0xFF));
+  return buf;
+}
+
+IpAddr IpAddr::parse(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = 0;
+  const int n = std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument("IpAddr::parse: malformed address: " + text);
+  }
+  return IpAddr(std::uint8_t(a), std::uint8_t(b), std::uint8_t(c), std::uint8_t(d));
+}
+
+std::string IpAddr::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (raw_ >> 24) & 0xFF,
+                (raw_ >> 16) & 0xFF, (raw_ >> 8) & 0xFF, raw_ & 0xFF);
+  return buf;
+}
+
+namespace {
+constexpr std::uint32_t mask_for(int length) {
+  return length == 0 ? 0u : ~std::uint32_t(0) << (32 - length);
+}
+}  // namespace
+
+Prefix::Prefix(IpAddr network, int length) : length_(length) {
+  if (length < 0 || length > 32) {
+    throw std::invalid_argument("Prefix: length must be in [0,32]");
+  }
+  network_ = IpAddr(network.raw() & mask_for(length));
+}
+
+bool Prefix::contains(IpAddr addr) const {
+  return (addr.raw() & mask_for(length_)) == network_.raw();
+}
+
+std::string Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace netmon::net

@@ -1,0 +1,80 @@
+#pragma once
+
+// Link-layer and network-layer addressing.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace netmon::net {
+
+class MacAddr {
+ public:
+  constexpr MacAddr() = default;
+  explicit constexpr MacAddr(std::uint64_t raw) : raw_(raw & 0xFFFF'FFFF'FFFFull) {}
+  static constexpr MacAddr broadcast() { return MacAddr(0xFFFF'FFFF'FFFFull); }
+
+  constexpr std::uint64_t raw() const { return raw_; }
+  constexpr bool is_broadcast() const { return raw_ == 0xFFFF'FFFF'FFFFull; }
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const MacAddr&) const = default;
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+class IpAddr {
+ public:
+  constexpr IpAddr() = default;
+  explicit constexpr IpAddr(std::uint32_t raw) : raw_(raw) {}
+  constexpr IpAddr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : raw_((std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) |
+             (std::uint32_t(c) << 8) | std::uint32_t(d)) {}
+
+  // Parses dotted-quad; throws std::invalid_argument on malformed input.
+  static IpAddr parse(const std::string& text);
+
+  constexpr std::uint32_t raw() const { return raw_; }
+  constexpr bool is_unspecified() const { return raw_ == 0; }
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const IpAddr&) const = default;
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+// CIDR prefix for routing.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  Prefix(IpAddr network, int length);
+
+  constexpr IpAddr network() const { return network_; }
+  constexpr int length() const { return length_; }
+  bool contains(IpAddr addr) const;
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Prefix&) const = default;
+
+ private:
+  IpAddr network_{};
+  int length_ = 0;
+};
+
+}  // namespace netmon::net
+
+template <>
+struct std::hash<netmon::net::IpAddr> {
+  std::size_t operator()(const netmon::net::IpAddr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.raw());
+  }
+};
+
+template <>
+struct std::hash<netmon::net::MacAddr> {
+  std::size_t operator()(const netmon::net::MacAddr& a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.raw());
+  }
+};

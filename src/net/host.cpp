@@ -1,0 +1,135 @@
+#include "net/host.hpp"
+
+#include "net/tcp.hpp"
+#include "net/topology.hpp"
+#include "net/udp.hpp"
+#include "util/logging.hpp"
+
+namespace netmon::net {
+
+Node::Node(sim::Simulator& sim, Network& network, std::string name)
+    : sim_(sim), network_(network), name_(std::move(name)) {}
+
+Node::~Node() = default;
+
+Nic& Node::add_nic(std::size_t tx_queue_capacity) {
+  auto nic = std::make_unique<Nic>(
+      name_ + "-eth" + std::to_string(nics_.size()),
+      network_.allocate_mac(), tx_queue_capacity);
+  nic->set_frame_handler(
+      [this, raw = nic.get()](const Frame& f) { handle_frame(*raw, f); });
+  nics_.push_back(std::move(nic));
+  return *nics_.back();
+}
+
+IpAddr Node::primary_ip() const {
+  for (const auto& nic : nics_) {
+    if (!nic->ip().is_unspecified()) return nic->ip();
+  }
+  return IpAddr{};
+}
+
+bool Node::owns_ip(IpAddr ip) const {
+  if (ip.is_unspecified()) return false;
+  for (const auto& nic : nics_) {
+    if (nic->ip() == ip) return true;
+  }
+  return false;
+}
+
+void Node::set_up(bool up) {
+  up_ = up;
+  for (auto& nic : nics_) nic->set_up(up);
+}
+
+void Node::set_protocol_handler(IpProto proto, PacketHandler handler) {
+  proto_handlers_[static_cast<std::size_t>(proto)] = std::move(handler);
+}
+
+void Node::handle_frame(Nic& nic, const Frame& frame) {
+  (void)nic;
+  if (!up_) return;
+  handle_ip(frame.packet);
+}
+
+void Node::handle_ip(const Packet& packet) {
+  ++counters_.ip_in_receives;
+  if (owns_ip(packet.dst)) {
+    ++counters_.ip_in_delivers;
+    auto& handler = proto_handlers_[static_cast<std::size_t>(packet.protocol)];
+    if (handler) handler(packet);
+    return;
+  }
+  if (forwarding_) {
+    forward(packet);
+  }
+  // Not for us and not forwarding: silently discard (promiscuous taps see
+  // frames through their own handlers, not through the IP layer).
+}
+
+bool Node::forward(Packet packet) {
+  if (packet.ttl <= 1) {
+    ++counters_.ip_ttl_exceeded;
+    return false;
+  }
+  packet.ttl -= 1;
+  auto route = routing_.lookup(packet.dst);
+  if (!route) {
+    ++counters_.ip_no_routes;
+    return false;
+  }
+  ++counters_.ip_forwarded;
+  return transmit(std::move(packet), *route);
+}
+
+bool Node::send_packet(Packet packet) {
+  if (!up_) return false;
+  ++counters_.ip_out_requests;
+  auto route = routing_.lookup(packet.dst);
+  if (!route) {
+    ++counters_.ip_no_routes;
+    NETMON_DEBUG("net", name_, ": no route to ", packet.dst.to_string());
+    return false;
+  }
+  if (packet.id == 0) packet.id = network_.next_packet_id();
+  if (packet.src.is_unspecified()) {
+    packet.src = route->out != nullptr && !route->out->ip().is_unspecified()
+                     ? route->out->ip()
+                     : primary_ip();
+  }
+  return transmit(std::move(packet), *route);
+}
+
+bool Node::transmit(Packet packet, const Route& route) {
+  Nic* out = route.out;
+  if (out == nullptr || !out->up()) {
+    ++counters_.ip_out_discards;
+    return false;
+  }
+  const IpAddr hop =
+      route.gateway.is_unspecified() ? packet.dst : route.gateway;
+  auto mac = network_.mac_of(hop);
+  if (!mac) {
+    ++counters_.ip_out_discards;
+    NETMON_DEBUG("net", name_, ": cannot resolve next hop ", hop.to_string());
+    return false;
+  }
+  Frame frame{out->mac(), *mac, std::move(packet)};
+  if (!out->enqueue(std::move(frame))) {
+    // The NIC already counted the drop; mirror it at the IP layer.
+    ++counters_.ip_out_discards;
+    return false;
+  }
+  return true;
+}
+
+Host::Host(sim::Simulator& sim, Network& network, std::string name,
+           clk::HostClock clock)
+    : Node(sim, network, std::move(name)), clock_(clock) {
+  udp_ = std::make_unique<UdpStack>(*this);
+  tcp_ = std::make_unique<TcpStack>(*this);
+}
+
+Host::~Host() = default;
+
+}  // namespace netmon::net

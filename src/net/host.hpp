@@ -1,0 +1,119 @@
+#pragma once
+
+// Node: an IP endpoint or router (frame reception, local delivery, TTL'd
+// forwarding). Host: a Node with a real-time clock and UDP/TCP stacks.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clock/host_clock.hpp"
+#include "net/nic.hpp"
+#include "net/routing.hpp"
+#include "sim/simulator.hpp"
+
+namespace netmon::net {
+
+class Network;
+class UdpStack;
+class TcpStack;
+
+struct NodeCounters {
+  std::uint64_t ip_in_receives = 0;
+  std::uint64_t ip_in_delivers = 0;
+  std::uint64_t ip_forwarded = 0;
+  std::uint64_t ip_out_requests = 0;
+  std::uint64_t ip_no_routes = 0;
+  std::uint64_t ip_ttl_exceeded = 0;
+  std::uint64_t ip_out_discards = 0;
+};
+
+class Node {
+ public:
+  using PacketHandler = std::function<void(const Packet&)>;
+
+  Node(sim::Simulator& sim, Network& network, std::string name);
+  virtual ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const { return name_; }
+  sim::Simulator& simulator() { return sim_; }
+  Network& network() { return network_; }
+
+  Nic& add_nic(std::size_t tx_queue_capacity = 64);
+  const std::vector<std::unique_ptr<Nic>>& nics() const { return nics_; }
+  Nic& nic(std::size_t i) { return *nics_.at(i); }
+  // First assigned address; the default source for locally originated packets.
+  IpAddr primary_ip() const;
+  bool owns_ip(IpAddr ip) const;
+
+  RoutingTable& routing() { return routing_; }
+  const RoutingTable& routing() const { return routing_; }
+
+  bool forwarding() const { return forwarding_; }
+  void set_forwarding(bool on) { forwarding_ = on; }
+
+  bool up() const { return up_; }
+  // Failure injection: a down node neither sends, receives, nor forwards.
+  void set_up(bool up);
+
+  // Routes, stamps (id/src), and transmits a locally originated packet.
+  // Returns false when no route exists or the egress queue is full.
+  bool send_packet(Packet packet);
+
+  // Protocol demux for locally addressed packets.
+  void set_protocol_handler(IpProto proto, PacketHandler handler);
+
+  const NodeCounters& counters() const { return counters_; }
+
+ protected:
+  virtual void handle_frame(Nic& nic, const Frame& frame);
+  void handle_ip(const Packet& packet);
+  bool forward(Packet packet);
+  bool transmit(Packet packet, const Route& route);
+
+  sim::Simulator& sim_;
+  Network& network_;
+  std::string name_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  RoutingTable routing_;
+  bool forwarding_ = false;
+  bool up_ = true;
+  std::array<PacketHandler, 256> proto_handlers_{};
+  NodeCounters counters_;
+};
+
+class Host : public Node {
+ public:
+  Host(sim::Simulator& sim, Network& network, std::string name,
+       clk::HostClock clock);
+  ~Host() override;
+
+  clk::HostClock& clock() { return clock_; }
+  const clk::HostClock& clock() const { return clock_; }
+
+  UdpStack& udp() { return *udp_; }
+  TcpStack& tcp() { return *tcp_; }
+
+ private:
+  clk::HostClock clock_;
+  std::unique_ptr<UdpStack> udp_;
+  std::unique_ptr<TcpStack> tcp_;
+};
+
+// A router is a Node with forwarding enabled and (optionally) a clock for
+// its management agent.
+class Router : public Host {
+ public:
+  Router(sim::Simulator& sim, Network& network, std::string name,
+         clk::HostClock clock)
+      : Host(sim, network, std::move(name), clock) {
+    set_forwarding(true);
+  }
+};
+
+}  // namespace netmon::net

@@ -1,0 +1,82 @@
+#include "net/nic.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace netmon::net {
+
+Nic::Nic(std::string name, MacAddr mac, std::size_t tx_queue_capacity)
+    : name_(std::move(name)), mac_(mac), tx_capacity_(tx_queue_capacity) {
+  if (tx_capacity_ == 0) throw std::invalid_argument("Nic: zero tx queue");
+}
+
+void Nic::assign_ip(IpAddr ip, int prefix_length) {
+  ip_ = ip;
+  prefix_length_ = prefix_length;
+}
+
+void Nic::set_up(bool up) {
+  up_ = up;
+  if (!up_) {
+    counters_.out_drops += tx_queue_.size();
+    tx_queue_.clear();
+  }
+}
+
+bool Nic::enqueue(Frame frame) {
+  if (!up_ || tx_queue_.size() >= tx_capacity_) {
+    ++counters_.out_drops;
+    return false;
+  }
+  tx_queue_.push_back(std::move(frame));
+  if (medium_ != nullptr) medium_->on_frame_queued(*this);
+  return true;
+}
+
+std::optional<Frame> Nic::dequeue() {
+  if (tx_queue_.empty()) return std::nullopt;
+  Frame f = std::move(tx_queue_.front());
+  tx_queue_.pop_front();
+  return f;
+}
+
+const Frame* Nic::peek() const {
+  return tx_queue_.empty() ? nullptr : &tx_queue_.front();
+}
+
+void Nic::drop_head() {
+  if (!tx_queue_.empty()) {
+    tx_queue_.pop_front();
+    ++counters_.out_drops;
+  }
+}
+
+bool Nic::accepts(const Frame& frame) const {
+  if (promiscuous_) return true;
+  return frame.dst == mac_ || frame.dst.is_broadcast();
+}
+
+void Nic::deliver(const Frame& frame) {
+  if (!up_) return;
+  if (!accepts(frame)) return;
+  ++counters_.in_frames;
+  counters_.in_octets += frame.size_bytes();
+  const auto cls = static_cast<std::size_t>(frame.packet.traffic_class);
+  counters_.in_octets_by_class[cls] += frame.size_bytes();
+  for (const auto& tap : taps_) tap(frame);
+  if (handler_) {
+    handler_(frame);
+  } else {
+    ++counters_.in_drops;
+  }
+}
+
+void Nic::note_transmitted(const Frame& frame) {
+  ++counters_.out_frames;
+  counters_.out_octets += frame.size_bytes();
+  const auto cls = static_cast<std::size_t>(frame.packet.traffic_class);
+  counters_.out_octets_by_class[cls] += frame.size_bytes();
+}
+
+}  // namespace netmon::net

@@ -1,0 +1,119 @@
+#pragma once
+
+// Network interface: a finite transmit queue plus counters, attached to a
+// Medium (point-to-point Link or SharedSegment). The same counters back the
+// SNMP interfaces-group MIB variables.
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace netmon::net {
+
+class Medium;
+
+struct NicCounters {
+  std::uint64_t out_octets = 0;
+  std::uint64_t out_frames = 0;
+  std::uint64_t out_drops = 0;  // tx queue overflow or interface down
+  std::uint64_t in_octets = 0;
+  std::uint64_t in_frames = 0;
+  std::uint64_t in_drops = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t deferrals = 0;
+  std::array<std::uint64_t, kTrafficClassCount> out_octets_by_class{};
+  std::array<std::uint64_t, kTrafficClassCount> in_octets_by_class{};
+};
+
+class Nic {
+ public:
+  using FrameHandler = std::function<void(const Frame&)>;
+
+  Nic(std::string name, MacAddr mac, std::size_t tx_queue_capacity = 64);
+
+  const std::string& name() const { return name_; }
+  MacAddr mac() const { return mac_; }
+
+  IpAddr ip() const { return ip_; }
+  int prefix_length() const { return prefix_length_; }
+  void assign_ip(IpAddr ip, int prefix_length);
+  Prefix subnet() const { return Prefix(ip_, prefix_length_); }
+
+  void attach(Medium* medium) { medium_ = medium; }
+  Medium* medium() const { return medium_; }
+
+  bool up() const { return up_; }
+  void set_up(bool up);
+
+  // Promiscuous interfaces (RMON probes, switch ports) accept every frame
+  // on the medium, not just frames addressed to them.
+  bool promiscuous() const { return promiscuous_; }
+  void set_promiscuous(bool on) { promiscuous_ = on; }
+
+  void set_frame_handler(FrameHandler handler) { handler_ = std::move(handler); }
+
+  // Taps observe every accepted frame before the main handler (RMON probes,
+  // media-layer sniffers). On a promiscuous interface that is all traffic
+  // on the medium.
+  void add_tap(FrameHandler tap) { taps_.push_back(std::move(tap)); }
+
+  // Host-side transmit entry point; returns false (and counts a drop) when
+  // the queue is full or the interface is down.
+  bool enqueue(Frame frame);
+
+  // Medium-side queue access.
+  bool has_queued() const { return !tx_queue_.empty(); }
+  std::optional<Frame> dequeue();
+  const Frame* peek() const;
+  void drop_head();  // excessive-collision discard
+  std::size_t queue_depth() const { return tx_queue_.size(); }
+  std::size_t queue_capacity() const { return tx_capacity_; }
+
+  // Medium-side delivery; applies the address filter unless promiscuous.
+  void deliver(const Frame& frame);
+
+  // Called by the medium when a frame has fully left this interface.
+  void note_transmitted(const Frame& frame);
+  void note_collision() { ++counters_.collisions; }
+  void note_deferral() { ++counters_.deferrals; }
+
+  const NicCounters& counters() const { return counters_; }
+
+ private:
+  bool accepts(const Frame& frame) const;
+
+  std::string name_;
+  MacAddr mac_;
+  IpAddr ip_{};
+  int prefix_length_ = 32;
+  bool up_ = true;
+  bool promiscuous_ = false;
+  std::size_t tx_capacity_;
+  std::deque<Frame> tx_queue_;
+  Medium* medium_ = nullptr;
+  FrameHandler handler_;
+  std::vector<FrameHandler> taps_;
+  NicCounters counters_;
+};
+
+// A transmission medium connecting interfaces.
+class Medium {
+ public:
+  virtual ~Medium() = default;
+  virtual void attach(Nic* nic) = 0;
+  // The NIC notifies the medium whenever its queue becomes non-empty.
+  virtual void on_frame_queued(Nic& nic) = 0;
+  virtual bool is_broadcast_medium() const = 0;
+  virtual double bandwidth_bps() const = 0;
+  // Interfaces attached to this medium (topology introspection).
+  virtual std::vector<Nic*> attached_nics() const = 0;
+};
+
+}  // namespace netmon::net

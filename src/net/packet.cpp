@@ -1,0 +1,30 @@
+#include "net/packet.hpp"
+
+#include <cstdio>
+
+namespace netmon::net {
+
+const char* to_string(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kApplication: return "application";
+    case TrafficClass::kMonitoring: return "monitoring";
+    case TrafficClass::kManagement: return "management";
+    case TrafficClass::kClockSync: return "clock-sync";
+    case TrafficClass::kOther: return "other";
+  }
+  return "?";
+}
+
+std::string Packet::describe() const {
+  char buf[160];
+  const char* proto = protocol == IpProto::kTcp   ? "tcp"
+                      : protocol == IpProto::kUdp ? "udp"
+                                                  : "icmp";
+  std::snprintf(buf, sizeof(buf), "%s %s:%u -> %s:%u len=%u class=%s",
+                proto, src.to_string().c_str(), src_port,
+                dst.to_string().c_str(), dst_port, payload_bytes,
+                to_string(traffic_class));
+  return buf;
+}
+
+}  // namespace netmon::net

@@ -1,0 +1,46 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+
+#include "net/nic.hpp"
+
+namespace netmon::net {
+
+void RoutingTable::add(Prefix prefix, IpAddr gateway, Nic* out) {
+  routes_.push_back(Route{prefix, gateway, out});
+}
+
+void RoutingTable::remove(Prefix prefix) {
+  routes_.erase(std::remove_if(routes_.begin(), routes_.end(),
+                               [&](const Route& r) { return r.prefix == prefix; }),
+                routes_.end());
+}
+
+std::optional<Route> RoutingTable::lookup(IpAddr dst) const {
+  const Route* best = nullptr;
+  for (const Route& r : routes_) {
+    if (!r.prefix.contains(dst)) continue;
+    if (best == nullptr || r.prefix.length() >= best->prefix.length()) {
+      best = &r;  // >= lets later equal-length entries override earlier ones
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+std::string RoutingTable::to_string() const {
+  std::string out;
+  for (const Route& r : routes_) {
+    out += r.prefix.to_string();
+    out += " via ";
+    out += r.gateway.is_unspecified() ? "direct" : r.gateway.to_string();
+    if (r.out != nullptr) {
+      out += " dev ";
+      out += r.out->name();
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace netmon::net

@@ -1,0 +1,43 @@
+#pragma once
+
+// Static IP routing table with longest-prefix match. Tables are normally
+// filled by Network::auto_route(); individual entries can be overridden to
+// create asymmetric routes (paper §4.3: "In an environment where asymmetric
+// routes exist between two hosts, information may flow in one direction but
+// not in the other").
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace netmon::net {
+
+class Nic;
+
+struct Route {
+  Prefix prefix;
+  // Unspecified gateway means the destination is directly attached.
+  IpAddr gateway;
+  Nic* out = nullptr;
+};
+
+class RoutingTable {
+ public:
+  // Later insertions win among routes of equal prefix length.
+  void add(Prefix prefix, IpAddr gateway, Nic* out);
+  // Removes every route whose prefix equals `prefix` exactly.
+  void remove(Prefix prefix);
+  void clear() { routes_.clear(); }
+
+  std::optional<Route> lookup(IpAddr dst) const;
+  std::size_t size() const { return routes_.size(); }
+  const std::vector<Route>& routes() const { return routes_; }
+  std::string to_string() const;
+
+ private:
+  std::vector<Route> routes_;
+};
+
+}  // namespace netmon::net

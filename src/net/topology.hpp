@@ -1,0 +1,119 @@
+#pragma once
+
+// Network: owns every node, link, segment, and switch in a simulated
+// internetwork; allocates MAC addresses and packet ids; resolves next-hop
+// IPs to MACs; and computes shortest-path routing tables that individual
+// nodes may override (e.g. to create the paper's asymmetric routes).
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/link.hpp"
+#include "net/shared_segment.hpp"
+#include "net/switch.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::net {
+
+// Common capacity presets used by the HiPer-D style testbeds.
+namespace bandwidth {
+constexpr double kEthernet10 = 10e6;
+constexpr double kFddi100 = 100e6;
+constexpr double kAtm155 = 155e6;
+}  // namespace bandwidth
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, util::Rng rng);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+  util::Rng& rng() { return rng_; }
+
+  // --- construction -------------------------------------------------------
+  // Without an explicit clock the host gets a perfect (zero-offset) clock.
+  Host& add_host(const std::string& name);
+  Host& add_host(const std::string& name, clk::HostClock clock);
+  Host& add_host(const std::string& name, sim::Duration clock_offset,
+                 double drift_ppm, sim::Duration granularity);
+  Router& add_router(const std::string& name);
+  SharedSegment& add_segment(const std::string& name, double bandwidth_bps,
+                             sim::Duration propagation = sim::Duration::us(5));
+  Switch& add_switch(const std::string& name,
+                     sim::Duration forwarding_delay = sim::Duration::us(10));
+
+  // Attach a node to a shared segment with the given address.
+  Nic& attach(Node& node, SharedSegment& segment, IpAddr ip, int prefix_len,
+              std::size_t tx_queue = 64);
+  // Attach a node to a switch via a dedicated full-duplex link.
+  Nic& attach(Node& node, Switch& sw, IpAddr ip, int prefix_len,
+              double bandwidth_bps = bandwidth::kEthernet10,
+              sim::Duration propagation = sim::Duration::us(1),
+              std::size_t tx_queue = 64);
+  // Direct point-to-point link between two nodes.
+  std::pair<Nic*, Nic*> connect(Node& a, IpAddr ip_a, Node& b, IpAddr ip_b,
+                                int prefix_len, double bandwidth_bps,
+                                sim::Duration propagation = sim::Duration::us(5),
+                                std::size_t tx_queue = 64);
+  // Link two switches together (trunk).
+  void connect(Switch& a, Switch& b, double bandwidth_bps,
+               sim::Duration propagation = sim::Duration::us(1));
+
+  // Computes shortest-path (hop count) routes for every node to every
+  // assigned address and statically provisions switch MAC tables.
+  // Existing table entries are cleared. Call again after topology changes;
+  // manual overrides go in afterwards.
+  void auto_route();
+  // Fills every switch's MAC table from the topology (also done by
+  // auto_route) so cold-start unknown-unicast flooding does not occur.
+  void prime_switch_tables();
+
+  // --- runtime services ---------------------------------------------------
+  MacAddr allocate_mac() { return MacAddr(++next_mac_); }
+  std::uint64_t next_packet_id() { return ++next_packet_id_; }
+  std::optional<MacAddr> mac_of(IpAddr ip) const;
+  Nic* nic_of(IpAddr ip) const;
+  Host* find_host(const std::string& name) const;
+  Host* host_of(IpAddr ip) const;
+
+  const std::vector<std::unique_ptr<Host>>& hosts() const { return hosts_; }
+  const std::vector<std::unique_ptr<SharedSegment>>& segments() const {
+    return segments_;
+  }
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+  const std::vector<std::unique_ptr<Switch>>& switches() const {
+    return switches_;
+  }
+
+  // Wire load by traffic class, counted once per L3 hop (egress of hosts
+  // and routers; L2 replication inside switches is not double-counted) —
+  // the intrusiveness measure of §4.4.
+  std::array<std::uint64_t, kTrafficClassCount> octets_by_class() const;
+  std::uint64_t total_octets() const;
+
+ private:
+  void register_nic(Nic& nic);
+  // L2 domain id per medium (segments + links merged through switches).
+  std::unordered_map<const Medium*, int> compute_l2_domains() const;
+
+  sim::Simulator& sim_;
+  util::Rng rng_;
+  std::uint64_t next_mac_ = 0x0200'0000'0000ull;
+  std::uint64_t next_packet_id_ = 0;
+
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<SharedSegment>> segments_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::unordered_map<IpAddr, Nic*> ip_to_nic_;
+};
+
+}  // namespace netmon::net

@@ -1,0 +1,73 @@
+#include "net/udp.hpp"
+
+#include <stdexcept>
+
+#include "net/host.hpp"
+
+namespace netmon::net {
+
+UdpStack::UdpStack(Host& host) : host_(host) {
+  host_.set_protocol_handler(IpProto::kUdp,
+                             [this](const Packet& p) { deliver(p); });
+}
+
+UdpSocket& UdpStack::bind(std::uint16_t port, UdpSocket::Handler handler) {
+  if (port == 0) {
+    while (sockets_.count(next_ephemeral_) != 0) {
+      ++next_ephemeral_;
+      if (next_ephemeral_ == 0) next_ephemeral_ = 49152;
+    }
+    port = next_ephemeral_++;
+  }
+  if (sockets_.count(port) != 0) {
+    throw std::logic_error(host_.name() + ": UDP port " +
+                           std::to_string(port) + " already bound");
+  }
+  auto socket = std::unique_ptr<UdpSocket>(new UdpSocket(*this, port));
+  socket->set_handler(std::move(handler));
+  auto [it, inserted] = sockets_.emplace(port, std::move(socket));
+  (void)inserted;
+  return *it->second;
+}
+
+void UdpStack::deliver(const Packet& packet) {
+  auto it = sockets_.find(packet.dst_port);
+  if (it == sockets_.end()) {
+    ++counters_.no_ports;
+    return;
+  }
+  ++counters_.in_datagrams;
+  // Copy the handler so a socket closing itself from inside its own
+  // callback does not destroy the callable mid-execution.
+  if (it->second->handler_) {
+    auto handler = it->second->handler_;
+    handler(packet);
+  }
+}
+
+void UdpStack::unbind(std::uint16_t port) { sockets_.erase(port); }
+
+UdpSocket::~UdpSocket() = default;
+
+bool UdpSocket::send_to(IpAddr dst, std::uint16_t dst_port,
+                        std::uint32_t payload_bytes,
+                        std::shared_ptr<const Payload> payload,
+                        TrafficClass traffic_class) {
+  Packet p;
+  p.dst = dst;
+  p.protocol = IpProto::kUdp;
+  p.src_port = port_;
+  p.dst_port = dst_port;
+  p.payload_bytes = payload_bytes;
+  p.traffic_class = traffic_class;
+  p.payload = std::move(payload);
+  ++stack_->counters_.out_datagrams;
+  return stack_->host().send_packet(std::move(p));
+}
+
+void UdpSocket::close() {
+  // unbind() destroys this socket; nothing may touch members afterwards.
+  stack_->unbind(port_);
+}
+
+}  // namespace netmon::net

@@ -1,0 +1,89 @@
+#include "nttcp/clock_offset.hpp"
+
+#include <memory>
+
+namespace netmon::nttcp {
+
+void reply_to_offset_request(net::Host& host, net::UdpSocket& socket,
+                             const net::Packet& p) {
+  auto req = net::payload_as<OffsetExchange>(p);
+  if (!req || req->reply) return;
+  auto reply = std::make_shared<OffsetExchange>(*req);
+  reply->reply = true;
+  reply->t2 = host.clock().local_now();
+  reply->t3 = host.clock().local_now();
+  socket.send_to(p.src, p.src_port, p.payload_bytes, std::move(reply),
+                 net::TrafficClass::kMonitoring);
+}
+
+OffsetResponder::OffsetResponder(net::Host& host, std::uint16_t port)
+    : host_(host),
+      socket_(host.udp().bind(port, [this](const net::Packet& p) {
+        reply_to_offset_request(host_, socket_, p);
+        ++replies_sent_;
+      })) {}
+
+ClockOffsetEstimator::ClockOffsetEstimator(net::Host& host, net::IpAddr peer,
+                                           std::uint16_t port,
+                                           ClockOffsetConfig config,
+                                           Callback done)
+    : host_(host),
+      peer_(peer),
+      port_(port),
+      config_(config),
+      done_(std::move(done)),
+      socket_(host.udp().bind(
+          0, [this](const net::Packet& p) { on_reply(p); })) {}
+
+void ClockOffsetEstimator::start() {
+  timeout_ = host_.simulator().schedule_in(
+      config_.timeout +
+          config_.spacing * static_cast<std::int64_t>(config_.exchanges),
+      [this] { finish(); });
+  send_next();
+}
+
+void ClockOffsetEstimator::send_next() {
+  if (sent_ >= config_.exchanges) return;
+  auto req = std::make_shared<OffsetExchange>();
+  req->seq = static_cast<std::uint32_t>(++sent_);
+  req->t1 = host_.clock().local_now();
+  socket_.send_to(peer_, port_, config_.packet_bytes, std::move(req),
+                  net::TrafficClass::kMonitoring);
+  // Request + expected reply wire cost (headers included).
+  result_.bytes_on_wire +=
+      2ull * (config_.packet_bytes + 28 + net::Frame::kFrameOverheadBytes);
+  if (sent_ < config_.exchanges) {
+    host_.simulator().schedule_in(config_.spacing, [this] { send_next(); });
+  }
+}
+
+void ClockOffsetEstimator::on_reply(const net::Packet& packet) {
+  auto reply = net::payload_as<OffsetExchange>(packet);
+  if (!reply || !reply->reply) return;
+  const sim::TimePoint t4 = host_.clock().local_now();
+  const std::int64_t rtt_ns =
+      (t4 - reply->t1).nanos() - (reply->t3 - reply->t2).nanos();
+  const std::int64_t offset_ns =
+      ((reply->t2 - reply->t1).nanos() + (reply->t3 - t4).nanos()) / 2;
+  ++result_.replies;
+  if (!have_best_ || rtt_ns < result_.min_round_trip.nanos()) {
+    have_best_ = true;
+    result_.min_round_trip = sim::Duration::ns(rtt_ns);
+    result_.offset = sim::Duration::ns(offset_ns);
+  }
+  if (result_.replies >= config_.exchanges) {
+    timeout_.cancel();
+    finish();
+  }
+}
+
+void ClockOffsetEstimator::finish() {
+  if (!done_) return;
+  result_.ok = result_.replies > 0;
+  auto done = std::move(done_);
+  done_ = nullptr;
+  done(result_);
+}
+
+}  // namespace netmon::nttcp

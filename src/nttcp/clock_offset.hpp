@@ -1,0 +1,85 @@
+#pragma once
+
+// In-band clock-offset estimation: the mechanism NTTCP used before the
+// HiPer-D team concluded (§5.1.3.2) that its overhead was "significantly
+// intrusive compared to ... running a clock synchronization protocol".
+// K request/reply exchanges are performed against the probe peer; the
+// exchange with the smallest round trip provides the offset estimate.
+
+#include <cstdint>
+#include <functional>
+
+#include "net/host.hpp"
+#include "net/udp.hpp"
+#include "sim/simulator.hpp"
+
+namespace netmon::nttcp {
+
+struct ClockOffsetConfig {
+  int exchanges = 16;
+  std::uint32_t packet_bytes = 32;
+  sim::Duration spacing = sim::Duration::ms(10);
+  sim::Duration timeout = sim::Duration::ms(500);
+};
+
+struct ClockOffsetResult {
+  bool ok = false;
+  // Estimated (remote - local) clock offset.
+  sim::Duration offset{};
+  sim::Duration min_round_trip{};
+  int replies = 0;
+  std::uint64_t bytes_on_wire = 0;  // both directions, incl. headers
+};
+
+// Payload for the ping-pong exchange (also understood by NttcpSink).
+struct OffsetExchange : net::Payload {
+  std::uint32_t seq = 0;
+  bool reply = false;
+  sim::TimePoint t1;  // requester transmit (requester clock)
+  sim::TimePoint t2;  // responder receive (responder clock)
+  sim::TimePoint t3;  // responder transmit (responder clock)
+};
+
+class ClockOffsetEstimator {
+ public:
+  using Callback = std::function<void(const ClockOffsetResult&)>;
+
+  ClockOffsetEstimator(net::Host& host, net::IpAddr peer, std::uint16_t port,
+                       ClockOffsetConfig config, Callback done);
+  void start();
+
+ private:
+  void send_next();
+  void finish();
+  void on_reply(const net::Packet& packet);
+
+  net::Host& host_;
+  net::IpAddr peer_;
+  std::uint16_t port_;
+  ClockOffsetConfig config_;
+  Callback done_;
+  net::UdpSocket& socket_;
+  int sent_ = 0;
+  ClockOffsetResult result_;
+  bool have_best_ = false;
+  sim::EventHandle timeout_;
+};
+
+// Installs an offset responder on an existing UDP handler path; used by
+// NttcpSink. Standalone responder for tests:
+class OffsetResponder {
+ public:
+  OffsetResponder(net::Host& host, std::uint16_t port);
+  std::uint64_t replies_sent() const { return replies_sent_; }
+
+ private:
+  net::Host& host_;
+  net::UdpSocket& socket_;
+  std::uint64_t replies_sent_ = 0;
+};
+
+// Shared reply logic (host receives request `p` on `socket`).
+void reply_to_offset_request(net::Host& host, net::UdpSocket& socket,
+                             const net::Packet& p);
+
+}  // namespace netmon::nttcp

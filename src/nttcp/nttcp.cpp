@@ -1,0 +1,290 @@
+#include "nttcp/nttcp.hpp"
+
+#include "util/logging.hpp"
+
+namespace netmon::nttcp {
+
+namespace {
+// Wire cost of a UDP datagram carrying `payload` bytes.
+std::uint64_t udp_wire_bytes(std::uint32_t payload) {
+  return payload + 28 + net::Frame::kFrameOverheadBytes;
+}
+std::uint64_t next_burst_id() {
+  static std::uint64_t counter = 0;
+  return ++counter;
+}
+constexpr std::uint32_t kControlBytes = 32;   // START/END payloads
+constexpr std::uint32_t kResultBaseBytes = 64;
+}  // namespace
+
+// ------------------------------------------------------------------ sink
+
+NttcpSink::NttcpSink(net::Host& host, std::uint16_t port)
+    : host_(host),
+      socket_(host.udp().bind(
+          port, [this](const net::Packet& p) { on_datagram(p); })) {
+  // TCP mode: accept, consume the stream, let the peer-driven close clean up.
+  host_.tcp().listen(port, [this](std::shared_ptr<net::TcpConnection> conn) {
+    tcp_conns_.push_back(conn);
+    conn->set_receive_handler([](std::span<const std::byte>) {});
+    conn->set_close_handler([this, weak = std::weak_ptr(conn)] {
+      if (auto c = weak.lock()) {
+        c->close();
+        std::erase(tcp_conns_, c);
+      }
+    });
+  });
+}
+
+void NttcpSink::on_datagram(const net::Packet& packet) {
+  // Offset exchanges share the sink port.
+  if (net::payload_as<OffsetExchange>(packet)) {
+    reply_to_offset_request(host_, socket_, packet);
+    return;
+  }
+  auto msg = net::payload_as<NttcpPacket>(packet);
+  if (!msg) return;
+
+  switch (msg->kind) {
+    case NttcpPacket::Kind::kStart: {
+      BurstState state;
+      state.expected = msg->count;
+      bursts_[msg->burst_id] = state;
+      break;
+    }
+    case NttcpPacket::Kind::kData: {
+      auto it = bursts_.find(msg->burst_id);
+      if (it == bursts_.end()) {
+        // START was lost; open implicitly so data still counts.
+        it = bursts_.emplace(msg->burst_id, BurstState{}).first;
+        it->second.expected = msg->count;
+      }
+      BurstState& state = it->second;
+      const sim::TimePoint arrival = host_.clock().local_now();
+      if (state.received == 0) state.first_arrival = arrival;
+      state.last_arrival = arrival;
+      ++state.received;
+      state.bytes += packet.payload_bytes;
+      state.latency_ns.push_back((arrival - msg->sent_local).nanos());
+      break;
+    }
+    case NttcpPacket::Kind::kEnd: {
+      auto it = bursts_.find(msg->burst_id);
+      if (it == bursts_.end()) {
+        // Everything was lost; report an empty result.
+        it = bursts_.emplace(msg->burst_id, BurstState{}).first;
+      }
+      const BurstState& state = it->second;
+      auto result = std::make_shared<NttcpPacket>();
+      result->kind = NttcpPacket::Kind::kResult;
+      result->burst_id = msg->burst_id;
+      result->count = msg->count;
+      result->received = state.received;
+      result->bytes = state.bytes;
+      result->span = state.received > 1
+                         ? state.last_arrival - state.first_arrival
+                         : sim::Duration::ns(0);
+      result->latency_ns = state.latency_ns;
+      const auto size = static_cast<std::uint32_t>(
+          kResultBaseBytes + 8 * result->latency_ns.size());
+      socket_.send_to(packet.src, packet.src_port, size, std::move(result),
+                      net::TrafficClass::kMonitoring);
+      ++bursts_completed_;
+      break;
+    }
+    case NttcpPacket::Kind::kResult:
+      break;  // sinks do not receive results
+  }
+}
+
+// ----------------------------------------------------------------- probe
+
+NttcpProbe::NttcpProbe(net::Host& host, net::IpAddr sink, NttcpConfig config,
+                       Callback done)
+    : host_(host),
+      sink_(sink),
+      config_(config),
+      done_(std::move(done)),
+      burst_id_(next_burst_id()) {}
+
+NttcpProbe::~NttcpProbe() { cancel(); }
+
+void NttcpProbe::cancel() {
+  send_timer_.cancel();
+  end_timer_.cancel();
+  timeout_timer_.cancel();
+  if (connection_) connection_->abort();
+}
+
+double NttcpProbe::peak_load_bps(const NttcpConfig& config) {
+  const double wire =
+      static_cast<double>(udp_wire_bytes(config.message_length)) * 8.0;
+  return wire / config.inter_send.to_seconds();
+}
+
+void NttcpProbe::start() {
+  if (config_.protocol == Protocol::kTcp) {
+    run_tcp();
+    return;
+  }
+  socket_ = &host_.udp().bind(
+      0, [this](const net::Packet& p) { on_datagram(p); });
+
+  timeout_timer_ = host_.simulator().schedule_in(
+      config_.inter_send * config_.message_count + config_.result_timeout,
+      [this] { finish(false); });
+
+  if (config_.in_band_offset) {
+    offset_estimator_ = std::make_unique<ClockOffsetEstimator>(
+        host_, sink_, config_.port, config_.offset,
+        [this](const ClockOffsetResult& r) {
+          if (r.ok) {
+            result_.offset_applied = r.offset;
+            result_.offset_bytes_on_wire = r.bytes_on_wire;
+            result_.probe_bytes_on_wire += r.bytes_on_wire;
+          }
+          begin_burst();
+        });
+    offset_estimator_->start();
+  } else {
+    begin_burst();
+  }
+}
+
+void NttcpProbe::begin_burst() {
+  auto start = std::make_shared<NttcpPacket>();
+  start->kind = NttcpPacket::Kind::kStart;
+  start->burst_id = burst_id_;
+  start->count = config_.message_count;
+  start->length = config_.message_length;
+  socket_->send_to(sink_, config_.port, kControlBytes, std::move(start),
+                   config_.traffic_class);
+  result_.probe_bytes_on_wire += udp_wire_bytes(kControlBytes);
+  send_timer_ = host_.simulator().schedule_in(config_.inter_send,
+                                              [this] { send_data(); });
+}
+
+void NttcpProbe::send_data() {
+  auto data = std::make_shared<NttcpPacket>();
+  data->kind = NttcpPacket::Kind::kData;
+  data->burst_id = burst_id_;
+  data->seq = next_seq_++;
+  data->count = config_.message_count;
+  data->length = config_.message_length;
+  data->sent_local = host_.clock().local_now();
+  socket_->send_to(sink_, config_.port, config_.message_length,
+                   std::move(data), config_.traffic_class);
+  ++result_.messages_sent;
+  result_.probe_bytes_on_wire += udp_wire_bytes(config_.message_length);
+
+  if (next_seq_ < config_.message_count) {
+    send_timer_ = host_.simulator().schedule_in(config_.inter_send,
+                                                [this] { send_data(); });
+  } else {
+    // Give the last message time to drain before asking for results.
+    end_timer_ = host_.simulator().schedule_in(config_.inter_send,
+                                               [this] { send_end(); });
+  }
+}
+
+void NttcpProbe::send_end() {
+  if (finished_) return;
+  auto end = std::make_shared<NttcpPacket>();
+  end->kind = NttcpPacket::Kind::kEnd;
+  end->burst_id = burst_id_;
+  end->count = config_.message_count;
+  socket_->send_to(sink_, config_.port, kControlBytes, std::move(end),
+                   config_.traffic_class);
+  result_.probe_bytes_on_wire += udp_wire_bytes(kControlBytes);
+  if (--end_retries_left_ > 0) {
+    end_timer_ = host_.simulator().schedule_in(sim::Duration::ms(200),
+                                               [this] { send_end(); });
+  }
+}
+
+void NttcpProbe::on_datagram(const net::Packet& packet) {
+  auto msg = net::payload_as<NttcpPacket>(packet);
+  if (!msg || msg->kind != NttcpPacket::Kind::kResult ||
+      msg->burst_id != burst_id_) {
+    return;
+  }
+  end_timer_.cancel();
+  result_.messages_received = msg->received;
+  result_.bytes_received = msg->bytes;
+  result_.receive_span = msg->span;
+  if (msg->span.nanos() > 0) {
+    result_.throughput_bps =
+        static_cast<double>(msg->bytes) * 8.0 / msg->span.to_seconds();
+  }
+  result_.loss_fraction =
+      result_.messages_sent == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(msg->received) /
+                      static_cast<double>(result_.messages_sent);
+  for (std::int64_t raw_ns : msg->latency_ns) {
+    // Raw sample = arrival(sink clock) - send(source clock); subtracting
+    // the estimated (sink - source) offset recovers true one-way latency.
+    result_.latency.add(
+        static_cast<double>(raw_ns - result_.offset_applied.nanos()) / 1e9);
+  }
+  finish(true);
+}
+
+void NttcpProbe::finish(bool completed) {
+  if (finished_) return;
+  finished_ = true;
+  cancel();
+  result_.completed = completed;
+  if (socket_ != nullptr) {
+    socket_->close();
+    socket_ = nullptr;
+  }
+  if (done_) {
+    auto done = std::move(done_);
+    done_ = nullptr;
+    done(result_);
+  }
+}
+
+void NttcpProbe::run_tcp() {
+  tcp_start_ = host_.simulator().now();
+  const std::uint64_t total_bytes =
+      std::uint64_t(config_.message_length) * config_.message_count;
+  timeout_timer_ = host_.simulator().schedule_in(
+      config_.result_timeout + sim::Duration::seconds(
+          static_cast<double>(total_bytes) * 8.0 / 1e6),  // generous floor
+      [this] { finish(false); });
+
+  connection_ = host_.tcp().connect(sink_, config_.port);
+  connection_->set_traffic_class(config_.traffic_class);
+  connection_->set_established_handler([this, total_bytes] {
+    connection_->send_bytes(total_bytes);
+    connection_->close();
+  });
+  connection_->set_close_handler([this, total_bytes] {
+    const auto elapsed = host_.simulator().now() - tcp_start_;
+    const auto& counters = connection_->counters();
+    result_.messages_sent = config_.message_count;
+    result_.messages_received = static_cast<std::uint32_t>(
+        counters.bytes_acked / config_.message_length);
+    result_.bytes_received = counters.bytes_acked;
+    result_.receive_span = elapsed;
+    if (elapsed.nanos() > 0) {
+      result_.throughput_bps = static_cast<double>(counters.bytes_acked) *
+                               8.0 / elapsed.to_seconds();
+    }
+    result_.probe_bytes_on_wire =
+        counters.segments_sent *
+        (net::Packet::kIpHeaderBytes + net::Packet::kTcpHeaderBytes +
+         net::Frame::kFrameOverheadBytes) +
+        counters.bytes_sent;
+    finish(counters.bytes_acked >= total_bytes);
+  });
+}
+
+// TCP sinks are plain acceptors that consume the stream; provide a helper
+// so applications can host one next to the UDP sink.
+namespace {
+}  // namespace
+
+}  // namespace netmon::nttcp

@@ -1,0 +1,151 @@
+#pragma once
+
+// NTTCP-style active network analysis tool (after Irey/Harrison/Marlow's
+// NSWC-DD tool, paper ref [1]): a source sends a burst of N messages of
+// length L every P to a sink, which measures application-level end-to-end
+// throughput and per-message one-way latency and reports the results back.
+// Configured with the monitored application's own L and P it "mimics the
+// behavior" of that application (paper §5.1.2.3) — the high-fidelity sensor.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/tcp.hpp"
+#include "net/udp.hpp"
+#include "nttcp/clock_offset.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace netmon::nttcp {
+
+constexpr std::uint16_t kNttcpPort = 5037;
+
+enum class Protocol { kUdp, kTcp };
+
+struct NttcpConfig {
+  std::uint32_t message_length = 8192;          // L (bytes per message)
+  sim::Duration inter_send = sim::Duration::ms(30);  // P
+  std::uint32_t message_count = 32;             // N (burst length)
+  Protocol protocol = Protocol::kUdp;
+  std::uint16_t port = kNttcpPort;
+  // One-way-latency clock handling: when true, run the in-band offset
+  // exchange before the burst (intrusive); when false, trust the host
+  // clocks (i.e. assume NTP keeps them synchronized).
+  bool in_band_offset = false;
+  ClockOffsetConfig offset;
+  sim::Duration result_timeout = sim::Duration::sec(5);
+  net::TrafficClass traffic_class = net::TrafficClass::kMonitoring;
+};
+
+struct NttcpResult {
+  bool completed = false;  // result report received (probe-level liveness)
+  std::uint32_t messages_sent = 0;
+  std::uint32_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+  sim::Duration receive_span{};   // sink: first-to-last message arrival
+  double throughput_bps = 0.0;    // application-level goodput at the sink
+  double loss_fraction = 0.0;
+  // One-way latency, seconds, after offset correction (UDP mode only).
+  util::SampleSet latency;
+  sim::Duration offset_applied{};
+  std::uint64_t offset_bytes_on_wire = 0;
+  // Total wire bytes this probe injected (intrusiveness contribution).
+  std::uint64_t probe_bytes_on_wire = 0;
+};
+
+// Wire messages exchanged by source and sink (UDP mode).
+struct NttcpPacket : net::Payload {
+  enum class Kind : std::uint8_t { kStart, kData, kEnd, kResult };
+  Kind kind = Kind::kData;
+  std::uint64_t burst_id = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t count = 0;
+  std::uint32_t length = 0;
+  sim::TimePoint sent_local;  // source clock at transmission
+  // kResult fields:
+  std::uint32_t received = 0;
+  std::uint64_t bytes = 0;
+  sim::Duration span{};
+  std::vector<std::int64_t> latency_ns;  // raw (uncorrected) one-way samples
+};
+
+// Persistent measurement sink. In UDP mode it collects per-burst arrival
+// statistics and answers END with a RESULT datagram; it also answers
+// in-band clock-offset exchanges. In TCP mode it accepts connections and
+// consumes the stream.
+class NttcpSink {
+ public:
+  NttcpSink(net::Host& host, std::uint16_t port = kNttcpPort);
+
+  net::Host& host() { return host_; }
+  std::uint64_t bursts_completed() const { return bursts_completed_; }
+
+ private:
+  struct BurstState {
+    std::uint32_t expected = 0;
+    std::uint32_t received = 0;
+    std::uint64_t bytes = 0;
+    sim::TimePoint first_arrival;
+    sim::TimePoint last_arrival;
+    std::vector<std::int64_t> latency_ns;
+  };
+
+  void on_datagram(const net::Packet& packet);
+
+  net::Host& host_;
+  net::UdpSocket& socket_;
+  std::unordered_map<std::uint64_t, BurstState> bursts_;
+  std::vector<std::shared_ptr<net::TcpConnection>> tcp_conns_;
+  std::uint64_t bursts_completed_ = 0;
+};
+
+// One measurement run from this host to a sink. Construct, then start().
+// The callback fires exactly once (with completed=false on timeout).
+class NttcpProbe {
+ public:
+  using Callback = std::function<void(const NttcpResult&)>;
+
+  NttcpProbe(net::Host& host, net::IpAddr sink, NttcpConfig config,
+             Callback done);
+  ~NttcpProbe();
+  NttcpProbe(const NttcpProbe&) = delete;
+  NttcpProbe& operator=(const NttcpProbe&) = delete;
+
+  void start();
+  void cancel();
+
+  // Wire footprint of one full burst of this configuration, in bits/s of
+  // peak load — the paper's overhead formula L/P applied to wire sizes.
+  static double peak_load_bps(const NttcpConfig& config);
+
+ private:
+  void begin_burst();
+  void send_data();
+  void send_end();
+  void on_datagram(const net::Packet& packet);
+  void finish(bool completed);
+  void run_tcp();
+
+  net::Host& host_;
+  net::IpAddr sink_;
+  NttcpConfig config_;
+  Callback done_;
+  net::UdpSocket* socket_ = nullptr;  // UDP mode
+  std::shared_ptr<net::TcpConnection> connection_;  // TCP mode
+  std::unique_ptr<ClockOffsetEstimator> offset_estimator_;
+  std::uint64_t burst_id_;
+  std::uint32_t next_seq_ = 0;
+  int end_retries_left_ = 5;
+  NttcpResult result_;
+  sim::EventHandle send_timer_;
+  sim::EventHandle end_timer_;
+  sim::EventHandle timeout_timer_;
+  sim::TimePoint tcp_start_{};
+  bool finished_ = false;
+};
+
+}  // namespace netmon::nttcp

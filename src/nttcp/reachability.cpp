@@ -1,0 +1,76 @@
+#include "nttcp/reachability.hpp"
+
+#include <memory>
+
+namespace netmon::nttcp {
+
+EchoResponder::EchoResponder(net::Host& host, std::uint16_t port)
+    : host_(host),
+      socket_(host.udp().bind(port, [this](const net::Packet& p) {
+        auto req = net::payload_as<EchoPayload>(p);
+        if (!req || req->reply) return;
+        auto reply = std::make_shared<EchoPayload>(*req);
+        reply->reply = true;
+        socket_.send_to(p.src, p.src_port, p.payload_bytes, std::move(reply),
+                        p.traffic_class);
+        ++echoes_;
+      })) {}
+
+ReachabilityProbe::ReachabilityProbe(net::Host& host, net::IpAddr target,
+                                     Config config, Callback done)
+    : host_(host), target_(target), config_(config), done_(std::move(done)) {}
+
+ReachabilityProbe::ReachabilityProbe(net::Host& host, net::IpAddr target,
+                                     Callback done)
+    : ReachabilityProbe(host, target, Config{}, std::move(done)) {}
+
+ReachabilityProbe::~ReachabilityProbe() { timeout_.cancel(); }
+
+void ReachabilityProbe::start() {
+  socket_ = &host_.udp().bind(
+      0, [this](const net::Packet& p) { on_reply(p); });
+  attempt();
+}
+
+void ReachabilityProbe::attempt() {
+  if (attempts_made_ >= config_.attempts) {
+    finish(false, sim::Duration::ns(0));
+    return;
+  }
+  ++attempts_made_;
+  auto req = std::make_shared<EchoPayload>();
+  req->seq = ++seq_;
+  sent_at_ = host_.simulator().now();
+  socket_->send_to(target_, config_.port, config_.payload_bytes,
+                   std::move(req), config_.traffic_class);
+  timeout_ = host_.simulator().schedule_in(config_.timeout,
+                                           [this] { attempt(); });
+}
+
+void ReachabilityProbe::on_reply(const net::Packet& packet) {
+  auto reply = net::payload_as<EchoPayload>(packet);
+  if (!reply || !reply->reply || reply->seq != seq_) return;
+  timeout_.cancel();
+  finish(true, host_.simulator().now() - sent_at_);
+}
+
+void ReachabilityProbe::finish(bool reachable, sim::Duration rtt) {
+  if (finished_) return;
+  finished_ = true;
+  timeout_.cancel();
+  if (socket_ != nullptr) {
+    socket_->close();
+    socket_ = nullptr;
+  }
+  ReachabilityResult result;
+  result.reachable = reachable;
+  result.attempts_used = attempts_made_;
+  result.round_trip = rtt;
+  if (done_) {
+    auto done = std::move(done_);
+    done_ = nullptr;
+    done(result);
+  }
+}
+
+}  // namespace netmon::nttcp

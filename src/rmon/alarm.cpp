@@ -1,0 +1,55 @@
+#include "rmon/alarm.hpp"
+
+#include <stdexcept>
+
+namespace netmon::rmon {
+
+Alarm::Alarm(sim::Simulator& sim, int index, AlarmConfig config,
+             AlarmHandler handler)
+    : sim_(sim),
+      index_(index),
+      config_(std::move(config)),
+      handler_(std::move(handler)) {
+  if (!config_.sample) throw std::invalid_argument("Alarm: no sampler");
+  if (config_.rising_threshold < config_.falling_threshold) {
+    throw std::invalid_argument("Alarm: rising threshold below falling");
+  }
+  rising_armed_ = config_.startup != AlarmDirection::kFalling;
+  falling_armed_ = config_.startup != AlarmDirection::kRising;
+  task_ = sim::PeriodicTask(sim_, config_.interval, [this] { tick(); });
+}
+
+void Alarm::tick() {
+  const double raw = config_.sample();
+  double value = raw;
+  if (config_.sample_type == SampleType::kDelta) {
+    if (!have_previous_raw_) {
+      have_previous_raw_ = true;
+      previous_raw_ = raw;
+      return;  // first delta needs two samples
+    }
+    value = raw - previous_raw_;
+    previous_raw_ = raw;
+  }
+  last_value_ = value;
+
+  if (rising_armed_ && value >= config_.rising_threshold) {
+    rising_armed_ = false;
+    falling_armed_ = true;
+    ++rising_events_;
+    if (handler_) {
+      handler_(AlarmCrossing{index_, AlarmDirection::kRising, value,
+                             config_.rising_threshold, sim_.now()});
+    }
+  } else if (falling_armed_ && value <= config_.falling_threshold) {
+    falling_armed_ = false;
+    rising_armed_ = true;
+    ++falling_events_;
+    if (handler_) {
+      handler_(AlarmCrossing{index_, AlarmDirection::kFalling, value,
+                             config_.falling_threshold, sim_.now()});
+    }
+  }
+}
+
+}  // namespace netmon::rmon

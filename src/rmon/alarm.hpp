@@ -1,0 +1,70 @@
+#pragma once
+
+// RMON alarm group: periodic sampling of a variable with rising/falling
+// thresholds and the standard hysteresis rule — after a rising event, no
+// further rising event may fire until the falling threshold is crossed
+// (and vice versa).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace netmon::rmon {
+
+enum class SampleType { kAbsolute, kDelta };
+enum class AlarmDirection { kRising, kFalling };
+
+struct AlarmCrossing {
+  int alarm_index = 0;
+  AlarmDirection direction = AlarmDirection::kRising;
+  double sampled_value = 0.0;
+  double threshold = 0.0;
+  sim::TimePoint at;  // true sim time of the sample
+};
+
+using AlarmHandler = std::function<void(const AlarmCrossing&)>;
+
+struct AlarmConfig {
+  std::string description;
+  std::function<double()> sample;
+  SampleType sample_type = SampleType::kDelta;
+  sim::Duration interval = sim::Duration::sec(1);
+  double rising_threshold = 0.0;
+  double falling_threshold = 0.0;
+  // Which direction may fire first (RMON alarmStartupAlarm).
+  AlarmDirection startup = AlarmDirection::kRising;
+};
+
+class Alarm {
+ public:
+  Alarm(sim::Simulator& sim, int index, AlarmConfig config,
+        AlarmHandler handler);
+
+  int index() const { return index_; }
+  const AlarmConfig& config() const { return config_; }
+  std::uint64_t rising_events() const { return rising_events_; }
+  std::uint64_t falling_events() const { return falling_events_; }
+  double last_sample() const { return last_value_; }
+  void stop() { task_.cancel(); }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  int index_;
+  AlarmConfig config_;
+  AlarmHandler handler_;
+  bool have_previous_raw_ = false;
+  double previous_raw_ = 0.0;
+  double last_value_ = 0.0;
+  // Which direction is currently armed; hysteresis per RMON rules.
+  bool rising_armed_;
+  bool falling_armed_;
+  std::uint64_t rising_events_ = 0;
+  std::uint64_t falling_events_ = 0;
+  sim::PeriodicTask task_;
+};
+
+}  // namespace netmon::rmon

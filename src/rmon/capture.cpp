@@ -1,0 +1,84 @@
+#include "rmon/capture.hpp"
+
+namespace netmon::rmon {
+
+bool PacketFilter::matches(const net::Frame& frame) const {
+  const net::Packet& p = frame.packet;
+  if (src && p.src != *src) return false;
+  if (dst && p.dst != *dst) return false;
+  if (protocol && p.protocol != *protocol) return false;
+  if (dst_port && p.dst_port != *dst_port) return false;
+  if (traffic_class && p.traffic_class != *traffic_class) return false;
+  const std::uint32_t size = frame.size_bytes();
+  if (size < min_size_bytes) return false;
+  if (max_size_bytes != 0 && size > max_size_bytes) return false;
+  return true;
+}
+
+std::string PacketFilter::describe() const {
+  std::string out;
+  auto append = [&out](const std::string& term) {
+    if (!out.empty()) out += " and ";
+    out += term;
+  };
+  if (src) append("src=" + src->to_string());
+  if (dst) append("dst=" + dst->to_string());
+  if (protocol) {
+    append(std::string("proto=") +
+           (*protocol == net::IpProto::kTcp   ? "tcp"
+            : *protocol == net::IpProto::kUdp ? "udp"
+                                              : "icmp"));
+  }
+  if (dst_port) append("port=" + std::to_string(*dst_port));
+  if (traffic_class) append(std::string("class=") + to_string(*traffic_class));
+  if (min_size_bytes) append("size>=" + std::to_string(min_size_bytes));
+  if (max_size_bytes) append("size<=" + std::to_string(max_size_bytes));
+  return out.empty() ? "any" : out;
+}
+
+CaptureChannel::CaptureChannel(PacketFilter filter, std::size_t buffer_frames,
+                               bool stop_when_full)
+    : filter_(std::move(filter)),
+      stop_when_full_(stop_when_full),
+      buffer_(buffer_frames) {}
+
+void CaptureChannel::start() { state_ = State::kCapturing; }
+void CaptureChannel::arm() { state_ = State::kArmed; }
+void CaptureChannel::stop() {
+  if (state_ == State::kCapturing || state_ == State::kArmed) {
+    state_ = State::kIdle;
+  }
+}
+
+void CaptureChannel::clear() {
+  buffer_.clear();
+  if (state_ == State::kFull) state_ = State::kIdle;
+}
+
+void CaptureChannel::offer(const net::Frame& frame, sim::TimePoint local_now) {
+  if (!filter_.matches(frame)) return;
+  ++matched_;
+  if (state_ != State::kCapturing) {
+    if (state_ == State::kFull) ++dropped_full_;
+    return;
+  }
+  if (stop_when_full_ && buffer_.full()) {
+    state_ = State::kFull;
+    ++dropped_full_;
+    return;
+  }
+  CapturedFrame captured;
+  captured.captured_at = local_now;
+  captured.src_mac = frame.src;
+  captured.dst_mac = frame.dst;
+  captured.src_ip = frame.packet.src;
+  captured.dst_ip = frame.packet.dst;
+  captured.protocol = frame.packet.protocol;
+  captured.src_port = frame.packet.src_port;
+  captured.dst_port = frame.packet.dst_port;
+  captured.size_bytes = frame.size_bytes();
+  buffer_.push(captured);
+  ++accepted_;
+}
+
+}  // namespace netmon::rmon

@@ -1,0 +1,44 @@
+#include "rmon/history.hpp"
+
+#include <stdexcept>
+
+namespace netmon::rmon {
+
+HistoryGroup::HistoryGroup(sim::Simulator& sim, sim::Duration interval,
+                           std::size_t bucket_count, Sources sources)
+    : interval_(interval), sources_(std::move(sources)), buckets_(bucket_count) {
+  if (!sources_.packets || !sources_.octets || !sources_.local_clock) {
+    throw std::invalid_argument("HistoryGroup: missing sources");
+  }
+  last_packets_ = sources_.packets();
+  last_octets_ = sources_.octets();
+  last_broadcasts_ = sources_.broadcasts ? sources_.broadcasts() : 0;
+  interval_start_local_ = sources_.local_clock();
+  task_ = sim::PeriodicTask(sim, interval_, [this] { roll(); });
+}
+
+void HistoryGroup::roll() {
+  const std::uint64_t packets = sources_.packets();
+  const std::uint64_t octets = sources_.octets();
+  const std::uint64_t broadcasts =
+      sources_.broadcasts ? sources_.broadcasts() : 0;
+
+  HistoryBucket bucket;
+  bucket.start_local = interval_start_local_;
+  bucket.packets = packets - last_packets_;
+  bucket.octets = octets - last_octets_;
+  bucket.broadcast_pkts = broadcasts - last_broadcasts_;
+  if (sources_.bandwidth_bps > 0.0) {
+    bucket.utilization = static_cast<double>(bucket.octets) * 8.0 /
+                         (sources_.bandwidth_bps * interval_.to_seconds());
+  }
+  buckets_.push(bucket);
+  ++intervals_completed_;
+
+  last_packets_ = packets;
+  last_octets_ = octets;
+  last_broadcasts_ = broadcasts;
+  interval_start_local_ = sources_.local_clock();
+}
+
+}  // namespace netmon::rmon

@@ -1,0 +1,55 @@
+#pragma once
+
+// RMON history group: periodic buckets of segment activity with a bounded
+// number of retained intervals (oldest overwritten), timestamped with the
+// probe's local (granular, drifting) clock.
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace netmon::rmon {
+
+struct HistoryBucket {
+  sim::TimePoint start_local;  // probe clock at interval start
+  std::uint64_t packets = 0;
+  std::uint64_t octets = 0;
+  std::uint64_t broadcast_pkts = 0;
+  double utilization = 0.0;  // fraction of the interval the medium was used
+};
+
+class HistoryGroup {
+ public:
+  struct Sources {
+    std::function<std::uint64_t()> packets;
+    std::function<std::uint64_t()> octets;
+    std::function<std::uint64_t()> broadcasts;
+    std::function<sim::TimePoint()> local_clock;
+    double bandwidth_bps = 0.0;
+  };
+
+  HistoryGroup(sim::Simulator& sim, sim::Duration interval,
+               std::size_t bucket_count, Sources sources);
+
+  sim::Duration interval() const { return interval_; }
+  const util::RingBuffer<HistoryBucket>& buckets() const { return buckets_; }
+  std::uint64_t intervals_completed() const { return intervals_completed_; }
+  void stop() { task_.cancel(); }
+
+ private:
+  void roll();
+
+  sim::Duration interval_;
+  Sources sources_;
+  util::RingBuffer<HistoryBucket> buckets_;
+  std::uint64_t intervals_completed_ = 0;
+  std::uint64_t last_packets_ = 0;
+  std::uint64_t last_octets_ = 0;
+  std::uint64_t last_broadcasts_ = 0;
+  sim::TimePoint interval_start_local_{};
+  sim::PeriodicTask task_;
+};
+
+}  // namespace netmon::rmon

@@ -1,0 +1,188 @@
+#include "rmon/probe.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace netmon::rmon {
+
+Probe::Probe(net::Host& host, net::SharedSegment& segment)
+    : Probe(host, segment, Config{}) {}
+
+Probe::Probe(net::Host& host, net::SharedSegment& segment, Config config)
+    : host_(host), segment_(segment), config_(std::move(config)) {
+  // Find the host interface on this segment and make it promiscuous.
+  net::Nic* capture = nullptr;
+  for (const auto& nic : host_.nics()) {
+    if (nic->medium() == &segment_) {
+      capture = nic.get();
+      break;
+    }
+  }
+  if (capture == nullptr) {
+    throw std::invalid_argument("Probe: host " + host_.name() +
+                                " is not attached to segment " +
+                                segment_.name());
+  }
+  capture->set_promiscuous(true);
+  capture->add_tap([this](const net::Frame& f) { on_frame(f); });
+
+  agent_ = std::make_unique<snmp::Agent>(host_, config_.agent);
+  register_mib();
+
+  window_task_ = sim::PeriodicTask(host_.simulator(),
+                                   config_.utilization_window,
+                                   [this] { roll_utilization_window(); });
+}
+
+void Probe::on_frame(const net::Frame& frame) {
+  const std::uint32_t size = frame.size_bytes();
+  ++stats_.packets;
+  stats_.octets += size;
+  if (frame.dst.is_broadcast()) ++stats_.broadcast_pkts;
+  if (size <= 64) {
+    ++stats_.pkts_64;
+  } else if (size <= 127) {
+    ++stats_.pkts_65_127;
+  } else if (size <= 255) {
+    ++stats_.pkts_128_255;
+  } else if (size <= 511) {
+    ++stats_.pkts_256_511;
+  } else if (size <= 1023) {
+    ++stats_.pkts_512_1023;
+  } else if (size <= 1518) {
+    ++stats_.pkts_1024_1518;
+  } else {
+    ++stats_.oversize_pkts;
+  }
+  ++frames_by_src_[frame.src];
+  if (!captures_.empty()) {
+    const auto local = host_.clock().local_now();
+    for (auto& channel : captures_) channel->offer(frame, local);
+  }
+}
+
+CaptureChannel& Probe::add_capture(PacketFilter filter,
+                                   std::size_t buffer_frames,
+                                   bool stop_when_full) {
+  captures_.push_back(std::make_unique<CaptureChannel>(
+      std::move(filter), buffer_frames, stop_when_full));
+  return *captures_.back();
+}
+
+void Probe::download_capture(const CaptureChannel& channel,
+                             net::IpAddr manager,
+                             std::function<void(std::size_t)> done) {
+  if (download_socket_ == nullptr) {
+    download_socket_ = &host_.udp().bind(0, nullptr);
+  }
+  // Each captured record costs ~40 bytes on the wire; pack ~32 per
+  // datagram. The transfer is paced at one datagram per millisecond, as a
+  // probe's management CPU would.
+  constexpr std::size_t kRecordBytes = 40;
+  constexpr std::size_t kRecordsPerChunk = 32;
+  const std::size_t total = channel.buffer().size();
+  const std::size_t chunks = (total + kRecordsPerChunk - 1) / kRecordsPerChunk;
+  for (std::size_t i = 0; i < chunks; ++i) {
+    const std::size_t records =
+        std::min(kRecordsPerChunk, total - i * kRecordsPerChunk);
+    host_.simulator().schedule_in(
+        sim::Duration::ms(1) * static_cast<std::int64_t>(i),
+        [this, manager, records] {
+          download_socket_->send_to(
+              manager, 16200, static_cast<std::uint32_t>(records * kRecordBytes),
+              nullptr, net::TrafficClass::kManagement);
+        });
+  }
+  if (done) {
+    host_.simulator().schedule_in(
+        sim::Duration::ms(1) * static_cast<std::int64_t>(chunks),
+        [done = std::move(done), total] { done(total); });
+  }
+}
+
+std::uint64_t Probe::frames_seen_from(net::MacAddr src) const {
+  auto it = frames_by_src_.find(src);
+  return it == frames_by_src_.end() ? 0 : it->second;
+}
+
+void Probe::roll_utilization_window() {
+  const std::uint64_t octets = stats_.octets;
+  const double bits =
+      static_cast<double>(octets - window_start_octets_) * 8.0;
+  window_utilization_ =
+      bits / (segment_.bandwidth_bps() *
+              config_.utilization_window.to_seconds());
+  window_start_octets_ = octets;
+}
+
+void Probe::register_mib() {
+  using namespace rmon_mib;
+  snmp::MibTree& mib = agent_->mib();
+  mib.add(kEtherStatsOctets, [this] {
+    return snmp::SnmpValue(snmp::Counter32{
+        static_cast<std::uint32_t>(stats_.octets & 0xFFFFFFFFull)});
+  });
+  mib.add(kEtherStatsPkts, [this] {
+    return snmp::SnmpValue(snmp::Counter32{
+        static_cast<std::uint32_t>(stats_.packets & 0xFFFFFFFFull)});
+  });
+  mib.add(kEtherStatsBroadcast, [this] {
+    return snmp::SnmpValue(snmp::Counter32{
+        static_cast<std::uint32_t>(stats_.broadcast_pkts & 0xFFFFFFFFull)});
+  });
+  mib.add(kEtherStatsUtilization, [this] {
+    // Hundredths of a percent, as real probes report it.
+    return snmp::SnmpValue(snmp::Gauge32{
+        static_cast<std::uint32_t>(window_utilization_ * 10000.0)});
+  });
+}
+
+HistoryGroup& Probe::add_history(sim::Duration interval, std::size_t buckets) {
+  HistoryGroup::Sources sources;
+  sources.packets = [this] { return stats_.packets; };
+  sources.octets = [this] { return stats_.octets; };
+  sources.broadcasts = [this] { return stats_.broadcast_pkts; };
+  sources.local_clock = [this] { return host_.clock().local_now(); };
+  sources.bandwidth_bps = segment_.bandwidth_bps();
+  histories_.push_back(std::make_unique<HistoryGroup>(
+      host_.simulator(), interval, buckets, std::move(sources)));
+  return *histories_.back();
+}
+
+Alarm& Probe::add_alarm(AlarmConfig config, net::IpAddr manager) {
+  const int index = static_cast<int>(alarms_.size()) + 1;
+  auto handler = [this, manager](const AlarmCrossing& crossing) {
+    const auto& trap_oid = crossing.direction == AlarmDirection::kRising
+                               ? rmon_mib::kRisingAlarmTrap
+                               : rmon_mib::kFallingAlarmTrap;
+    std::vector<snmp::VarBind> varbinds;
+    varbinds.push_back(snmp::VarBind{
+        snmp::Oid{1, 3, 6, 1, 2, 1, 16, 3, 1, 1, 1,
+                  static_cast<std::uint32_t>(crossing.alarm_index)},
+        snmp::SnmpValue(static_cast<std::int64_t>(crossing.sampled_value))});
+    agent_->send_trap(manager, trap_oid, std::move(varbinds));
+  };
+  alarms_.push_back(std::make_unique<Alarm>(host_.simulator(), index,
+                                            std::move(config), handler));
+  return *alarms_.back();
+}
+
+Alarm& Probe::add_alarm(AlarmConfig config, AlarmHandler on_cross) {
+  const int index = static_cast<int>(alarms_.size()) + 1;
+  alarms_.push_back(std::make_unique<Alarm>(
+      host_.simulator(), index, std::move(config), std::move(on_cross)));
+  return *alarms_.back();
+}
+
+std::function<double()> Probe::sample_octets() const {
+  return [this] { return static_cast<double>(stats_.octets); };
+}
+std::function<double()> Probe::sample_packets() const {
+  return [this] { return static_cast<double>(stats_.packets); };
+}
+std::function<double()> Probe::sample_utilization() const {
+  return [this] { return window_utilization_; };
+}
+
+}  // namespace netmon::rmon

@@ -1,0 +1,127 @@
+#pragma once
+
+// RMON probe: a passive monitor attached promiscuously to a shared segment
+// (it sees nothing useful on switched media — paper §4.3). Implements the
+// subset of RMON-1 the paper's experiments used: the Ethernet statistics
+// group, the history group, and the alarm/event groups with rising/falling
+// threshold traps. All collected state is exposed through the probe host's
+// SNMP agent under the standard rmon subtree.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/shared_segment.hpp"
+#include "net/topology.hpp"
+#include "rmon/alarm.hpp"
+#include "rmon/capture.hpp"
+#include "rmon/history.hpp"
+#include "snmp/agent.hpp"
+
+namespace netmon::rmon {
+
+// etherStatsEntry-style counters (RMON-1 statistics group).
+struct EtherStats {
+  std::uint64_t packets = 0;
+  std::uint64_t octets = 0;
+  std::uint64_t broadcast_pkts = 0;
+  std::uint64_t pkts_64 = 0;
+  std::uint64_t pkts_65_127 = 0;
+  std::uint64_t pkts_128_255 = 0;
+  std::uint64_t pkts_256_511 = 0;
+  std::uint64_t pkts_512_1023 = 0;
+  std::uint64_t pkts_1024_1518 = 0;
+  std::uint64_t oversize_pkts = 0;
+};
+
+// RMON MIB anchors (1.3.6.1.2.1.16.*, statistics table index 1).
+namespace rmon_mib {
+inline const snmp::Oid kEtherStatsEntry{1, 3, 6, 1, 2, 1, 16, 1, 1, 1};
+inline const snmp::Oid kEtherStatsOctets = kEtherStatsEntry.with({4, 1});
+inline const snmp::Oid kEtherStatsPkts = kEtherStatsEntry.with({5, 1});
+inline const snmp::Oid kEtherStatsBroadcast = kEtherStatsEntry.with({6, 1});
+// Gauge: utilization in hundredths of a percent over the last poll window.
+inline const snmp::Oid kEtherStatsUtilization =
+    snmp::Oid{1, 3, 6, 1, 2, 1, 16, 1, 1, 1, 21, 1};
+inline const snmp::Oid kRisingAlarmTrap{1, 3, 6, 1, 2, 1, 16, 0, 1};
+inline const snmp::Oid kFallingAlarmTrap{1, 3, 6, 1, 2, 1, 16, 0, 2};
+}  // namespace rmon_mib
+
+class Probe {
+ public:
+  struct Config {
+    // Window over which the utilization MIB variable is computed.
+    sim::Duration utilization_window = sim::Duration::sec(1);
+    snmp::Agent::Config agent;
+  };
+
+  // `host` must already be attached (with an IP) to `segment`; its first
+  // NIC on that segment is switched to promiscuous mode for capture.
+  Probe(net::Host& host, net::SharedSegment& segment);
+  Probe(net::Host& host, net::SharedSegment& segment, Config config);
+
+  net::Host& host() { return host_; }
+  snmp::Agent& agent() { return *agent_; }
+  const EtherStats& ether_stats() const { return stats_; }
+
+  // Utilization over the most recent completed window, in [0,1].
+  double windowed_utilization() const { return window_utilization_; }
+
+  // Frames captured from a given source MAC (media-layer "reachability"
+  // sniffing, paper §4.3). Counts only what this probe can actually hear.
+  std::uint64_t frames_seen_from(net::MacAddr src) const;
+
+  // --- history group -------------------------------------------------------
+  HistoryGroup& add_history(sim::Duration interval, std::size_t buckets);
+  const std::vector<std::unique_ptr<HistoryGroup>>& histories() const {
+    return histories_;
+  }
+
+  // --- alarm/event groups --------------------------------------------------
+  // Registers an alarm on a sampled quantity; when it crosses a threshold
+  // the probe sends the standard rising/falling RMON trap to `manager`.
+  Alarm& add_alarm(AlarmConfig config, net::IpAddr manager);
+  Alarm& add_alarm(AlarmConfig config, AlarmHandler on_cross);
+  const std::vector<std::unique_ptr<Alarm>>& alarms() const { return alarms_; }
+
+  // --- filter/capture groups -----------------------------------------------
+  CaptureChannel& add_capture(PacketFilter filter, std::size_t buffer_frames,
+                              bool stop_when_full = true);
+  const std::vector<std::unique_ptr<CaptureChannel>>& captures() const {
+    return captures_;
+  }
+  // Downloads the channel's buffer to a management station as chunked UDP
+  // datagrams (TrafficClass::kManagement). The paper warns that "heavy use
+  // of downloading captured information from RMON probes can introduce a
+  // significant overhead" — this makes that overhead real and measurable.
+  // `done` receives the number of records transferred.
+  void download_capture(const CaptureChannel& channel, net::IpAddr manager,
+                        std::function<void(std::size_t)> done = nullptr);
+
+  // Convenience samplers for alarm variables.
+  std::function<double()> sample_octets() const;
+  std::function<double()> sample_packets() const;
+  std::function<double()> sample_utilization() const;
+
+ private:
+  void on_frame(const net::Frame& frame);
+  void register_mib();
+  void roll_utilization_window();
+
+  net::Host& host_;
+  net::SharedSegment& segment_;
+  Config config_;
+  std::unique_ptr<snmp::Agent> agent_;
+  EtherStats stats_;
+  std::unordered_map<net::MacAddr, std::uint64_t> frames_by_src_;
+  std::vector<std::unique_ptr<HistoryGroup>> histories_;
+  std::vector<std::unique_ptr<Alarm>> alarms_;
+  std::vector<std::unique_ptr<CaptureChannel>> captures_;
+  net::UdpSocket* download_socket_ = nullptr;
+  // Utilization window bookkeeping.
+  std::uint64_t window_start_octets_ = 0;
+  double window_utilization_ = 0.0;
+  sim::PeriodicTask window_task_;
+};
+
+}  // namespace netmon::rmon

@@ -1,0 +1,112 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace netmon::sim {
+
+std::string Duration::to_string() const {
+  char buf[64];
+  if (ns_ % 1'000'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(ns_ / 1'000'000'000));
+  } else if (ns_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(ns_ / 1'000'000));
+  } else if (ns_ % 1'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(ns_ / 1'000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+std::string TimePoint::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6fs", to_seconds());
+  return buf;
+}
+
+EventHandle Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::logic_error("Simulator::schedule_at: time in the past");
+  }
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{when, next_seq_++, std::move(fn), alive});
+  return EventHandle(std::move(alive));
+}
+
+EventHandle Simulator::schedule_in(Duration delay, std::function<void()> fn) {
+  if (delay.is_negative()) {
+    throw std::logic_error("Simulator::schedule_in: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_periodic(Duration period,
+                                         std::function<void()> fn) {
+  if (period <= Duration::ns(0)) {
+    throw std::logic_error("Simulator::schedule_periodic: period must be > 0");
+  }
+  // The shared alive flag spans all repetitions: cancelling the returned
+  // handle stops the chain even though each firing re-schedules itself.
+  auto alive = std::make_shared<bool>(true);
+  auto tick = std::make_shared<std::function<void()>>();
+  auto self = this;
+  *tick = [self, period, fn = std::move(fn), alive, tick]() {
+    fn();
+    if (*alive) {
+      self->queue_.push(
+          Event{self->now_ + period, self->next_seq_++, *tick, alive});
+    }
+  };
+  queue_.push(Event{now_ + period, next_seq_++, *tick, alive});
+  return EventHandle(std::move(alive));
+}
+
+void Simulator::dispatch(Event& ev) {
+  assert(ev.at >= now_);
+  now_ = ev.at;
+  if (*ev.alive) {
+    ++executed_;
+    ev.fn();
+  }
+}
+
+void Simulator::run(std::uint64_t limit) {
+  stopped_ = false;
+  std::uint64_t fired = 0;
+  while (!queue_.empty() && !stopped_ && fired < limit) {
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+    ++fired;
+  }
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    const Event& top = queue_.top();
+    if (top.at > deadline) break;
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+void Simulator::attach_logger() {
+  util::Logger::instance().set_time_source([this] {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "[t=%.6f]", now_.to_seconds());
+    return std::string(buf);
+  });
+}
+
+void Simulator::detach_logger() {
+  util::Logger::instance().clear_time_source();
+}
+
+}  // namespace netmon::sim

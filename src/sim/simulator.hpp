@@ -1,0 +1,112 @@
+#pragma once
+
+// Deterministic discrete-event simulator. All substrates (network, clocks,
+// SNMP, probes) are driven by events scheduled here. Ties at equal timestamps
+// break by insertion order, so a given seed reproduces a run exactly.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace netmon::sim {
+
+// Handle for cancelling a scheduled event. Cancellation is lazy: the event
+// stays queued but its body is skipped when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel() { if (alive_) *alive_ = false; }
+  bool valid() const { return alive_ != nullptr; }
+  bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  EventHandle schedule_at(TimePoint when, std::function<void()> fn);
+  EventHandle schedule_in(Duration delay, std::function<void()> fn);
+
+  // Repeats fn every `period` starting at now()+period, until cancelled.
+  EventHandle schedule_periodic(Duration period, std::function<void()> fn);
+
+  // Run until the queue drains or `limit` events have fired.
+  void run(std::uint64_t limit = UINT64_MAX);
+  // Run events with time <= deadline; leaves now() == deadline.
+  void run_until(TimePoint deadline);
+  void run_for(Duration d) { run_until(now_ + d); }
+  // Stop the current run() after the in-flight event completes.
+  void stop() { stopped_ = true; }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+  // Installs/removes the "[t=...]" prefix on the global logger.
+  void attach_logger();
+  void detach_logger();
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Event& ev);
+
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+// RAII helper used by periodic components: cancels its event on destruction.
+class PeriodicTask {
+ public:
+  PeriodicTask() = default;
+  PeriodicTask(Simulator& sim, Duration period, std::function<void()> fn)
+      : handle_(sim.schedule_periodic(period, std::move(fn))) {}
+  PeriodicTask(PeriodicTask&& o) noexcept : handle_(o.handle_) {
+    o.handle_ = EventHandle{};
+  }
+  PeriodicTask& operator=(PeriodicTask&& o) noexcept {
+    if (this != &o) {
+      handle_.cancel();
+      handle_ = o.handle_;
+      o.handle_ = EventHandle{};
+    }
+    return *this;
+  }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+  ~PeriodicTask() { handle_.cancel(); }
+  void cancel() { handle_.cancel(); }
+  bool active() const { return handle_.pending(); }
+
+ private:
+  EventHandle handle_;
+};
+
+}  // namespace netmon::sim

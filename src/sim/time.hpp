@@ -1,0 +1,81 @@
+#pragma once
+
+// Simulated time as a strong type over integer nanoseconds. Integer ticks
+// keep event ordering exact and runs bit-reproducible.
+
+#include <cstdint>
+#include <string>
+
+namespace netmon::sim {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration ns(std::int64_t v) { return Duration(v); }
+  static constexpr Duration us(std::int64_t v) { return Duration(v * 1'000); }
+  static constexpr Duration ms(std::int64_t v) {
+    return Duration(v * 1'000'000);
+  }
+  static constexpr Duration sec(std::int64_t v) {
+    return Duration(v * 1'000'000'000);
+  }
+  static constexpr Duration seconds(double v) {
+    return Duration(static_cast<std::int64_t>(v * 1e9));
+  }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_micros() const { return static_cast<double>(ns_) / 1e3; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(ns_ / k); }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint from_nanos(std::int64_t ns) { return TimePoint(ns); }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint(ns_ + d.nanos());
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint(ns_ - d.nanos());
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::ns(ns_ - o.ns_);
+  }
+  TimePoint& operator+=(Duration d) { ns_ += d.nanos(); return *this; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr TimePoint(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace netmon::sim

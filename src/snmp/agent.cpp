@@ -1,0 +1,143 @@
+#include "snmp/agent.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace netmon::snmp {
+
+Agent::Agent(net::Host& host) : Agent(host, Config{}) {}
+
+Agent::Agent(net::Host& host, Config config)
+    : host_(host),
+      config_(std::move(config)),
+      socket_(host.udp().bind(
+          config_.port, [this](const net::Packet& p) { on_datagram(p); })) {
+  if (config_.register_mib2) register_mib2(mib_, host_);
+}
+
+void Agent::on_datagram(const net::Packet& packet) {
+  auto datagram = net::payload_as<SnmpDatagram>(packet);
+  if (!datagram) return;
+  Message request;
+  try {
+    request = Message::decode(datagram->bytes);
+  } catch (const BerError&) {
+    ++counters_.decode_errors;
+    return;
+  }
+  ++counters_.requests_in;
+  if (request.community != config_.community) {
+    ++counters_.bad_community;
+    return;
+  }
+  // Model agent CPU time before the response hits the wire.
+  host_.simulator().schedule_in(
+      config_.processing_delay,
+      [this, packet, request = std::move(request)] { process(packet, request); });
+}
+
+void Agent::process(const net::Packet& packet, const Message& request) {
+  Message response;
+  response.community = config_.community;
+  response.pdu.type = PduType::kResponse;
+  response.pdu.request_id = request.pdu.request_id;
+
+  if (request.pdu.type == PduType::kGetBulk) {
+    // RFC 1905 semantics: the first non_repeaters varbinds behave like
+    // GETNEXT; the rest are stepped max_repetitions times.
+    const auto non_rep = static_cast<std::size_t>(
+        std::max<std::int32_t>(0, request.pdu.non_repeaters()));
+    const auto reps = std::max<std::int32_t>(0, request.pdu.max_repetitions());
+    for (std::size_t i = 0; i < request.pdu.varbinds.size(); ++i) {
+      const Oid& start = request.pdu.varbinds[i].oid;
+      if (i < non_rep) {
+        auto next = mib_.get_next(start);
+        response.pdu.varbinds.push_back(
+            next ? *next : VarBind{start, SnmpValue(EndOfMibView{})});
+        continue;
+      }
+      Oid cursor = start;
+      for (std::int32_t r = 0; r < reps; ++r) {
+        auto next = mib_.get_next(cursor);
+        if (!next) {
+          response.pdu.varbinds.push_back(
+              VarBind{cursor, SnmpValue(EndOfMibView{})});
+          break;
+        }
+        response.pdu.varbinds.push_back(*next);
+        cursor = next->oid;
+      }
+    }
+    auto bytes = response.encode();
+    const auto size = static_cast<std::uint32_t>(bytes.size());
+    socket_.send_to(packet.src, packet.src_port, size,
+                    std::make_shared<SnmpDatagram>(std::move(bytes)),
+                    net::TrafficClass::kManagement);
+    ++counters_.responses_out;
+    return;
+  }
+
+  std::int32_t index = 0;
+  for (const VarBind& vb : request.pdu.varbinds) {
+    ++index;
+    switch (request.pdu.type) {
+      case PduType::kGetRequest: {
+        response.pdu.varbinds.push_back(VarBind{vb.oid, mib_.get(vb.oid)});
+        break;
+      }
+      case PduType::kGetNextRequest: {
+        auto next = mib_.get_next(vb.oid);
+        if (next) {
+          response.pdu.varbinds.push_back(*next);
+        } else {
+          response.pdu.varbinds.push_back(
+              VarBind{vb.oid, SnmpValue(EndOfMibView{})});
+        }
+        break;
+      }
+      case PduType::kSetRequest: {
+        const ErrorStatus status = mib_.set(vb.oid, vb.value);
+        if (status != ErrorStatus::kNoError &&
+            response.pdu.error_status == ErrorStatus::kNoError) {
+          response.pdu.error_status = status;
+          response.pdu.error_index = index;
+        }
+        response.pdu.varbinds.push_back(VarBind{vb.oid, mib_.get(vb.oid)});
+        break;
+      }
+      default:
+        return;  // responses/traps are not requests; drop silently
+    }
+  }
+
+  auto bytes = response.encode();
+  const auto size = static_cast<std::uint32_t>(bytes.size());
+  socket_.send_to(packet.src, packet.src_port, size,
+                  std::make_shared<SnmpDatagram>(std::move(bytes)),
+                  net::TrafficClass::kManagement);
+  ++counters_.responses_out;
+}
+
+void Agent::send_trap(net::IpAddr manager, const Oid& trap_oid,
+                      std::vector<VarBind> varbinds) {
+  Message trap;
+  trap.community = config_.community;
+  trap.pdu.type = PduType::kTrap;
+  trap.pdu.request_id = 0;
+  const auto uptime_ticks = static_cast<std::uint32_t>(
+      host_.clock().local_now().nanos() / 10'000'000);
+  trap.pdu.varbinds.push_back(
+      VarBind{kSysUpTimeOid, SnmpValue(TimeTicks{uptime_ticks})});
+  trap.pdu.varbinds.push_back(VarBind{kSnmpTrapOid, SnmpValue(trap_oid)});
+  for (auto& vb : varbinds) trap.pdu.varbinds.push_back(std::move(vb));
+
+  auto bytes = trap.encode();
+  const auto size = static_cast<std::uint32_t>(bytes.size());
+  socket_.send_to(manager, kTrapPort, size,
+                  std::make_shared<SnmpDatagram>(std::move(bytes)),
+                  net::TrafficClass::kManagement);
+  ++counters_.traps_sent;
+}
+
+}  // namespace netmon::snmp

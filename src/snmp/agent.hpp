@@ -1,0 +1,61 @@
+#pragma once
+
+// SNMP agent embedded in a network element: answers GET/GETNEXT/SET on UDP
+// 161 against its MIB tree, and emits SNMPv2c traps toward a management
+// station. Processing each request costs a configurable CPU delay, so very
+// fast polling loads the agent realistically.
+
+#include <cstdint>
+#include <string>
+
+#include "net/host.hpp"
+#include "net/udp.hpp"
+#include "snmp/mib.hpp"
+#include "snmp/mib2.hpp"
+#include "snmp/pdu.hpp"
+
+namespace netmon::snmp {
+
+struct AgentCounters {
+  std::uint64_t requests_in = 0;
+  std::uint64_t responses_out = 0;
+  std::uint64_t bad_community = 0;
+  std::uint64_t decode_errors = 0;
+  std::uint64_t traps_sent = 0;
+};
+
+class Agent {
+ public:
+  struct Config {
+    std::string community = "public";
+    std::uint16_t port = kSnmpPort;
+    // Per-request processing latency (MIB lookup + encode on the element).
+    sim::Duration processing_delay = sim::Duration::us(200);
+    bool register_mib2 = true;
+  };
+
+  explicit Agent(net::Host& host);
+  Agent(net::Host& host, Config config);
+
+  MibTree& mib() { return mib_; }
+  const MibTree& mib() const { return mib_; }
+  net::Host& host() { return host_; }
+
+  // Sends an SNMPv2c trap (sysUpTime + snmpTrapOID + extra varbinds).
+  void send_trap(net::IpAddr manager, const Oid& trap_oid,
+                 std::vector<VarBind> varbinds = {});
+
+  const AgentCounters& counters() const { return counters_; }
+
+ private:
+  void on_datagram(const net::Packet& packet);
+  void process(const net::Packet& packet, const Message& request);
+
+  net::Host& host_;
+  Config config_;
+  MibTree mib_;
+  net::UdpSocket& socket_;
+  AgentCounters counters_;
+};
+
+}  // namespace netmon::snmp

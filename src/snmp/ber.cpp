@@ -1,0 +1,268 @@
+#include "snmp/ber.hpp"
+
+namespace netmon::snmp {
+
+// ---------------------------------------------------------------- writer
+
+void BerWriter::write_tag_length(BerTag tag, std::size_t length) {
+  out_.push_back(static_cast<std::uint8_t>(tag));
+  if (length < 0x80) {
+    out_.push_back(static_cast<std::uint8_t>(length));
+    return;
+  }
+  // Long form: count significant bytes.
+  std::uint8_t len_bytes[8];
+  int n = 0;
+  std::size_t v = length;
+  while (v != 0) {
+    len_bytes[n++] = static_cast<std::uint8_t>(v & 0xFF);
+    v >>= 8;
+  }
+  out_.push_back(static_cast<std::uint8_t>(0x80 | n));
+  for (int i = n - 1; i >= 0; --i) out_.push_back(len_bytes[i]);
+}
+
+void BerWriter::write_integer(std::int64_t value) {
+  // Minimal two's-complement encoding.
+  std::uint8_t buf[9];
+  int n = 0;
+  bool more = true;
+  std::int64_t v = value;
+  while (more) {
+    buf[n++] = static_cast<std::uint8_t>(v & 0xFF);
+    const std::int64_t shifted = v >> 8;
+    // Stop when remaining bits are pure sign extension and the sign bit of
+    // the last emitted byte matches.
+    if ((shifted == 0 && (buf[n - 1] & 0x80) == 0) ||
+        (shifted == -1 && (buf[n - 1] & 0x80) != 0)) {
+      more = false;
+    } else {
+      v = shifted;
+    }
+  }
+  write_tag_length(BerTag::kInteger, static_cast<std::size_t>(n));
+  for (int i = n - 1; i >= 0; --i) out_.push_back(buf[i]);
+}
+
+void BerWriter::write_unsigned(BerTag tag, std::uint64_t value) {
+  // Unsigned application types: prepend 0x00 if the high bit would read as
+  // a sign bit.
+  std::uint8_t buf[9];
+  int n = 0;
+  std::uint64_t v = value;
+  do {
+    buf[n++] = static_cast<std::uint8_t>(v & 0xFF);
+    v >>= 8;
+  } while (v != 0);
+  const bool pad = (buf[n - 1] & 0x80) != 0;
+  write_tag_length(tag, static_cast<std::size_t>(n + (pad ? 1 : 0)));
+  if (pad) out_.push_back(0x00);
+  for (int i = n - 1; i >= 0; --i) out_.push_back(buf[i]);
+}
+
+void BerWriter::write_octet_string(const std::string& value) {
+  write_tag_length(BerTag::kOctetString, value.size());
+  out_.insert(out_.end(), value.begin(), value.end());
+}
+
+void BerWriter::write_null() { write_tag_length(BerTag::kNull, 0); }
+
+void BerWriter::write_oid(const Oid& oid) {
+  const auto& ids = oid.ids();
+  if (ids.size() < 2) throw BerError("BER: OID needs >= 2 components");
+  if (ids[0] > 2 || ids[1] >= 40) throw BerError("BER: bad OID head");
+  std::vector<std::uint8_t> body;
+  body.push_back(static_cast<std::uint8_t>(ids[0] * 40 + ids[1]));
+  for (std::size_t i = 2; i < ids.size(); ++i) {
+    std::uint32_t v = ids[i];
+    std::uint8_t chunk[5];
+    int n = 0;
+    do {
+      chunk[n++] = static_cast<std::uint8_t>(v & 0x7F);
+      v >>= 7;
+    } while (v != 0);
+    for (int j = n - 1; j >= 0; --j) {
+      body.push_back(static_cast<std::uint8_t>(chunk[j] | (j > 0 ? 0x80 : 0)));
+    }
+  }
+  write_tag_length(BerTag::kOid, body.size());
+  out_.insert(out_.end(), body.begin(), body.end());
+}
+
+void BerWriter::write_ip(net::IpAddr ip) {
+  write_tag_length(BerTag::kIpAddress, 4);
+  const std::uint32_t raw = ip.raw();
+  out_.push_back(static_cast<std::uint8_t>((raw >> 24) & 0xFF));
+  out_.push_back(static_cast<std::uint8_t>((raw >> 16) & 0xFF));
+  out_.push_back(static_cast<std::uint8_t>((raw >> 8) & 0xFF));
+  out_.push_back(static_cast<std::uint8_t>(raw & 0xFF));
+}
+
+void BerWriter::write_exception(BerTag tag) { write_tag_length(tag, 0); }
+
+void BerWriter::write_value(const SnmpValue& value) {
+  struct Visitor {
+    BerWriter& w;
+    void operator()(const Null&) { w.write_null(); }
+    void operator()(std::int64_t v) { w.write_integer(v); }
+    void operator()(const std::string& v) { w.write_octet_string(v); }
+    void operator()(const Oid& v) { w.write_oid(v); }
+    void operator()(const net::IpAddr& v) { w.write_ip(v); }
+    void operator()(const Counter32& v) {
+      w.write_unsigned(BerTag::kCounter32, v.value);
+    }
+    void operator()(const Gauge32& v) {
+      w.write_unsigned(BerTag::kGauge32, v.value);
+    }
+    void operator()(const TimeTicks& v) {
+      w.write_unsigned(BerTag::kTimeTicks, v.value);
+    }
+    void operator()(const Counter64& v) {
+      w.write_unsigned(BerTag::kCounter64, v.value);
+    }
+    void operator()(const EndOfMibView&) {
+      w.write_exception(BerTag::kEndOfMibView);
+    }
+    void operator()(const NoSuchObject&) {
+      w.write_exception(BerTag::kNoSuchObject);
+    }
+  };
+  std::visit(Visitor{*this}, value.storage());
+}
+
+void BerWriter::write_constructed(BerTag tag, const BerWriter& contents) {
+  write_tag_length(tag, contents.size());
+  out_.insert(out_.end(), contents.bytes().begin(), contents.bytes().end());
+}
+
+// ---------------------------------------------------------------- reader
+
+std::uint8_t BerReader::next_byte() {
+  if (pos_ >= data_.size()) throw BerError("BER: truncated input");
+  return data_[pos_++];
+}
+
+std::uint8_t BerReader::peek_byte() const {
+  if (pos_ >= data_.size()) throw BerError("BER: truncated input");
+  return data_[pos_];
+}
+
+BerTag BerReader::peek_tag() const { return static_cast<BerTag>(peek_byte()); }
+
+std::size_t BerReader::read_length() {
+  const std::uint8_t first = next_byte();
+  if ((first & 0x80) == 0) return first;
+  const int n = first & 0x7F;
+  if (n == 0 || n > 8) throw BerError("BER: unsupported length form");
+  std::size_t length = 0;
+  for (int i = 0; i < n; ++i) length = (length << 8) | next_byte();
+  return length;
+}
+
+void BerReader::expect_tag(BerTag expected) {
+  const auto got = static_cast<BerTag>(next_byte());
+  if (got != expected) {
+    throw BerError("BER: expected tag " +
+                   std::to_string(static_cast<int>(expected)) + ", got " +
+                   std::to_string(static_cast<int>(got)));
+  }
+}
+
+std::span<const std::uint8_t> BerReader::read_contents(BerTag expected) {
+  expect_tag(expected);
+  const std::size_t length = read_length();
+  if (length > remaining()) throw BerError("BER: length exceeds input");
+  auto span = data_.subspan(pos_, length);
+  pos_ += length;
+  return span;
+}
+
+std::int64_t BerReader::read_integer() {
+  auto body = read_contents(BerTag::kInteger);
+  if (body.empty() || body.size() > 8) throw BerError("BER: bad integer size");
+  std::int64_t value = (body[0] & 0x80) != 0 ? -1 : 0;
+  for (std::uint8_t b : body) value = (value << 8) | b;
+  return value;
+}
+
+std::uint64_t BerReader::read_unsigned(BerTag expected) {
+  auto body = read_contents(expected);
+  if (body.empty() || body.size() > 9) throw BerError("BER: bad unsigned size");
+  std::uint64_t value = 0;
+  for (std::uint8_t b : body) value = (value << 8) | b;
+  return value;
+}
+
+std::string BerReader::read_octet_string() {
+  auto body = read_contents(BerTag::kOctetString);
+  return std::string(body.begin(), body.end());
+}
+
+void BerReader::read_null() { read_contents(BerTag::kNull); }
+
+Oid BerReader::read_oid() {
+  auto body = read_contents(BerTag::kOid);
+  if (body.empty()) throw BerError("BER: empty OID");
+  std::vector<std::uint32_t> ids;
+  ids.push_back(body[0] / 40);
+  ids.push_back(body[0] % 40);
+  std::uint32_t acc = 0;
+  bool in_multibyte = false;
+  for (std::size_t i = 1; i < body.size(); ++i) {
+    acc = (acc << 7) | (body[i] & 0x7F);
+    in_multibyte = (body[i] & 0x80) != 0;
+    if (!in_multibyte) {
+      ids.push_back(acc);
+      acc = 0;
+    }
+  }
+  if (in_multibyte) throw BerError("BER: unterminated OID component");
+  return Oid(std::move(ids));
+}
+
+net::IpAddr BerReader::read_ip() {
+  auto body = read_contents(BerTag::kIpAddress);
+  if (body.size() != 4) throw BerError("BER: bad IpAddress size");
+  return net::IpAddr(body[0], body[1], body[2], body[3]);
+}
+
+SnmpValue BerReader::read_value() {
+  switch (peek_tag()) {
+    case BerTag::kInteger: return SnmpValue(read_integer());
+    case BerTag::kOctetString: return SnmpValue(read_octet_string());
+    case BerTag::kNull: read_null(); return SnmpValue(Null{});
+    case BerTag::kOid: return SnmpValue(read_oid());
+    case BerTag::kIpAddress: return SnmpValue(read_ip());
+    case BerTag::kCounter32:
+      return SnmpValue(Counter32{static_cast<std::uint32_t>(
+          read_unsigned(BerTag::kCounter32))});
+    case BerTag::kGauge32:
+      return SnmpValue(
+          Gauge32{static_cast<std::uint32_t>(read_unsigned(BerTag::kGauge32))});
+    case BerTag::kTimeTicks:
+      return SnmpValue(TimeTicks{
+          static_cast<std::uint32_t>(read_unsigned(BerTag::kTimeTicks))});
+    case BerTag::kCounter64:
+      return SnmpValue(Counter64{read_unsigned(BerTag::kCounter64)});
+    case BerTag::kNoSuchObject:
+      read_contents(BerTag::kNoSuchObject);
+      return SnmpValue(NoSuchObject{});
+    case BerTag::kEndOfMibView:
+      read_contents(BerTag::kEndOfMibView);
+      return SnmpValue(EndOfMibView{});
+    default:
+      throw BerError("BER: unsupported value tag " +
+                     std::to_string(static_cast<int>(peek_tag())));
+  }
+}
+
+BerReader BerReader::enter_constructed(BerTag expected) {
+  return BerReader(read_contents(expected));
+}
+
+BerReader BerReader::enter_any_constructed(BerTag& tag_out) {
+  tag_out = peek_tag();
+  return BerReader(read_contents(tag_out));
+}
+
+}  // namespace netmon::snmp

@@ -1,0 +1,104 @@
+#pragma once
+
+// BER (Basic Encoding Rules) subset used by SNMPv2c: definite lengths only,
+// primitive types plus SEQUENCE and the context-tagged PDUs. Messages are
+// genuinely encoded to bytes and decoded on receipt, so wire sizes in the
+// simulation are the real ones.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "snmp/oid.hpp"
+#include "snmp/value.hpp"
+
+namespace netmon::snmp {
+
+class BerError : public std::runtime_error {
+ public:
+  explicit BerError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Universal / application tags.
+enum class BerTag : std::uint8_t {
+  kInteger = 0x02,
+  kOctetString = 0x04,
+  kNull = 0x05,
+  kOid = 0x06,
+  kSequence = 0x30,
+  kIpAddress = 0x40,
+  kCounter32 = 0x41,
+  kGauge32 = 0x42,
+  kTimeTicks = 0x43,
+  kCounter64 = 0x46,
+  kNoSuchObject = 0x80,
+  kEndOfMibView = 0x82,
+  // Context tags for PDUs (constructed).
+  kGetRequest = 0xA0,
+  kGetNextRequest = 0xA1,
+  kResponse = 0xA2,
+  kSetRequest = 0xA3,
+  kGetBulkRequest = 0xA5,
+  kTrapV2 = 0xA7,
+};
+
+class BerWriter {
+ public:
+  const std::vector<std::uint8_t>& bytes() const { return out_; }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+  void write_integer(std::int64_t value);
+  void write_unsigned(BerTag tag, std::uint64_t value);
+  void write_octet_string(const std::string& value);
+  void write_null();
+  void write_oid(const Oid& oid);
+  void write_ip(net::IpAddr ip);
+  void write_exception(BerTag tag);  // noSuchObject / endOfMibView
+  void write_value(const SnmpValue& value);
+
+  // Constructed types: emit children into a child writer, then wrap.
+  void write_constructed(BerTag tag, const BerWriter& contents);
+
+ private:
+  void write_tag_length(BerTag tag, std::size_t length);
+  std::vector<std::uint8_t> out_;
+};
+
+class BerReader {
+ public:
+  explicit BerReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool at_end() const { return pos_ >= data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  // Peeks the next tag without consuming it.
+  BerTag peek_tag() const;
+
+  std::int64_t read_integer();
+  std::uint64_t read_unsigned(BerTag expected);
+  std::string read_octet_string();
+  void read_null();
+  Oid read_oid();
+  net::IpAddr read_ip();
+  SnmpValue read_value();
+
+  // Enters a constructed element and returns a reader over its contents.
+  BerReader enter_constructed(BerTag expected);
+  // Enters whatever constructed element comes next, reporting its tag.
+  BerReader enter_any_constructed(BerTag& tag_out);
+
+ private:
+  std::uint8_t next_byte();
+  std::uint8_t peek_byte() const;
+  std::size_t read_length();
+  void expect_tag(BerTag expected);
+  std::span<const std::uint8_t> read_contents(BerTag expected);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace netmon::snmp

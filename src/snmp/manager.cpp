@@ -1,0 +1,290 @@
+#include "snmp/manager.hpp"
+
+#include <memory>
+
+#include "util/logging.hpp"
+
+namespace netmon::snmp {
+
+Manager::Manager(net::Host& host) : Manager(host, Config{}) {}
+
+Manager::Manager(net::Host& host, Config config)
+    : host_(host),
+      config_(std::move(config)),
+      request_socket_(host.udp().bind(
+          0, [this](const net::Packet& p) { on_response_datagram(p); })),
+      trap_socket_(host.udp().bind(config_.trap_port, [this](const net::Packet& p) {
+        on_trap_datagram(p);
+      })) {}
+
+void Manager::get(net::IpAddr agent, std::vector<Oid> oids,
+                  ResponseHandler handler) {
+  std::vector<VarBind> varbinds;
+  varbinds.reserve(oids.size());
+  for (auto& oid : oids) varbinds.push_back(VarBind{std::move(oid), SnmpValue()});
+  send_request(agent, PduType::kGetRequest, std::move(varbinds),
+               std::move(handler));
+}
+
+void Manager::get_next(net::IpAddr agent, std::vector<Oid> oids,
+                       ResponseHandler handler) {
+  std::vector<VarBind> varbinds;
+  varbinds.reserve(oids.size());
+  for (auto& oid : oids) varbinds.push_back(VarBind{std::move(oid), SnmpValue()});
+  send_request(agent, PduType::kGetNextRequest, std::move(varbinds),
+               std::move(handler));
+}
+
+void Manager::set(net::IpAddr agent, std::vector<VarBind> varbinds,
+                  ResponseHandler handler) {
+  send_request(agent, PduType::kSetRequest, std::move(varbinds),
+               std::move(handler));
+}
+
+void Manager::get_bulk(net::IpAddr agent, std::vector<Oid> oids,
+                       std::int32_t max_repetitions,
+                       ResponseHandler handler) {
+  std::vector<VarBind> varbinds;
+  varbinds.reserve(oids.size());
+  for (auto& oid : oids) varbinds.push_back(VarBind{std::move(oid), SnmpValue()});
+  const std::int32_t id = next_request_id_++;
+  Pending pending;
+  pending.agent = agent;
+  pending.message.community = config_.community;
+  pending.message.pdu.type = PduType::kGetBulk;
+  pending.message.pdu.request_id = id;
+  pending.message.pdu.set_bulk(0, max_repetitions);
+  pending.message.pdu.varbinds = std::move(varbinds);
+  pending.handler = std::move(handler);
+  pending.attempts_left = config_.retries;
+  pending_.emplace(id, std::move(pending));
+  transmit(id);
+}
+
+void Manager::bulk_walk(net::IpAddr agent, Oid root,
+                        std::int32_t max_repetitions,
+                        std::function<void(std::vector<VarBind>)> handler) {
+  auto collected = std::make_shared<std::vector<VarBind>>();
+  auto step = std::make_shared<std::function<void(Oid)>>();
+  *step = [this, agent, root, max_repetitions, collected,
+           handler = std::move(handler), step](Oid cursor) {
+    get_bulk(agent, {cursor}, max_repetitions,
+             [this, agent, root, collected, handler, step,
+              cursor](const SnmpResult& result) {
+               (void)this;
+               if (!result.ok || result.varbinds.empty()) {
+                 handler(*collected);
+                 return;
+               }
+               Oid last = cursor;
+               for (const VarBind& vb : result.varbinds) {
+                 if (vb.value.is<EndOfMibView>() || !vb.oid.starts_with(root) ||
+                     vb.oid <= last) {
+                   handler(*collected);
+                   return;
+                 }
+                 collected->push_back(vb);
+                 last = vb.oid;
+               }
+               (*step)(last);
+             });
+  };
+  (*step)(root);
+}
+
+void Manager::walk(net::IpAddr agent, Oid root,
+                   std::function<void(std::vector<VarBind>)> handler) {
+  auto collected = std::make_shared<std::vector<VarBind>>();
+  auto step = std::make_shared<std::function<void(Oid)>>();
+  *step = [this, agent, root, collected, handler = std::move(handler),
+           step](Oid cursor) {
+    get_next(agent, {cursor},
+             [this, agent, root, collected, handler, step,
+              cursor](const SnmpResult& result) {
+               (void)this;
+               if (!result.ok || result.varbinds.empty()) {
+                 handler(*collected);
+                 return;
+               }
+               const VarBind& vb = result.varbinds.front();
+               if (vb.value.is<EndOfMibView>() || !vb.oid.starts_with(root) ||
+                   vb.oid <= cursor) {
+                 handler(*collected);
+                 return;
+               }
+               collected->push_back(vb);
+               (*step)(vb.oid);
+             });
+  };
+  (*step)(root);
+}
+
+int Manager::watch_agent(net::IpAddr agent, sim::Duration interval,
+                         HealthHandler handler, int failures_for_down) {
+  const int id = next_watch_id_++;
+  Watch watch;
+  watch.agent = agent;
+  watch.handler = std::move(handler);
+  watch.failures_for_down = failures_for_down;
+  auto [it, inserted] = watches_.emplace(id, std::move(watch));
+  (void)inserted;
+  it->second.task = sim::PeriodicTask(
+      host_.simulator(), interval, [this, id] {
+        auto wit = watches_.find(id);
+        if (wit == watches_.end()) return;
+        get(wit->second.agent, {Oid{1, 3, 6, 1, 2, 1, 1, 3, 0}},
+            [this, id](const SnmpResult& result) {
+              auto w = watches_.find(id);
+              if (w == watches_.end()) return;
+              Watch& watch = w->second;
+              if (result.ok) {
+                watch.consecutive_failures = 0;
+                if (watch.believed_up != std::optional<bool>(true)) {
+                  watch.believed_up = true;
+                  if (watch.handler) watch.handler(watch.agent, true);
+                }
+              } else {
+                ++watch.consecutive_failures;
+                if (watch.consecutive_failures >= watch.failures_for_down &&
+                    watch.believed_up != std::optional<bool>(false)) {
+                  watch.believed_up = false;
+                  if (watch.handler) watch.handler(watch.agent, false);
+                }
+              }
+            });
+      });
+  return id;
+}
+
+void Manager::unwatch(int watch_id) { watches_.erase(watch_id); }
+
+std::optional<bool> Manager::agent_up(net::IpAddr agent) const {
+  for (const auto& [id, watch] : watches_) {
+    if (watch.agent == agent) return watch.believed_up;
+  }
+  return std::nullopt;
+}
+
+void Manager::send_request(net::IpAddr agent, PduType type,
+                           std::vector<VarBind> varbinds,
+                           ResponseHandler handler) {
+  const std::int32_t id = next_request_id_++;
+  Pending pending;
+  pending.agent = agent;
+  pending.message.community = config_.community;
+  pending.message.pdu.type = type;
+  pending.message.pdu.request_id = id;
+  pending.message.pdu.varbinds = std::move(varbinds);
+  pending.handler = std::move(handler);
+  pending.attempts_left = config_.retries;
+  pending_.emplace(id, std::move(pending));
+  transmit(id);
+}
+
+void Manager::transmit(std::int32_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  auto bytes = pending.message.encode();
+  const auto size = static_cast<std::uint32_t>(bytes.size());
+  request_socket_.send_to(pending.agent, kSnmpPort, size,
+                          std::make_shared<SnmpDatagram>(std::move(bytes)),
+                          net::TrafficClass::kManagement);
+  ++counters_.requests_sent;
+  pending.timer = host_.simulator().schedule_in(
+      config_.timeout, [this, request_id] { on_timeout(request_id); });
+}
+
+void Manager::on_timeout(std::int32_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  if (pending.attempts_left > 0) {
+    --pending.attempts_left;
+    ++counters_.retries;
+    transmit(request_id);
+    return;
+  }
+  ++counters_.timeouts;
+  ResponseHandler handler = std::move(pending.handler);
+  pending_.erase(it);
+  if (handler) handler(SnmpResult{});
+}
+
+void Manager::on_response_datagram(const net::Packet& packet) {
+  auto datagram = net::payload_as<SnmpDatagram>(packet);
+  if (!datagram) return;
+  Message response;
+  try {
+    response = Message::decode(datagram->bytes);
+  } catch (const BerError&) {
+    return;
+  }
+  if (response.pdu.type != PduType::kResponse) return;
+  auto it = pending_.find(response.pdu.request_id);
+  if (it == pending_.end()) return;  // late duplicate after timeout
+  it->second.timer.cancel();
+  ResponseHandler handler = std::move(it->second.handler);
+  pending_.erase(it);
+  ++counters_.responses;
+
+  SnmpResult result;
+  result.ok = true;
+  result.error_status = response.pdu.error_status;
+  result.varbinds = std::move(response.pdu.varbinds);
+  if (handler) handler(result);
+}
+
+void Manager::on_trap_datagram(const net::Packet& packet) {
+  auto datagram = net::payload_as<SnmpDatagram>(packet);
+  if (!datagram) return;
+  Message trap;
+  try {
+    trap = Message::decode(datagram->bytes);
+  } catch (const BerError&) {
+    return;
+  }
+  if (trap.pdu.type != PduType::kTrap) return;
+  ++counters_.traps_received;
+
+  if (trap_queue_.size() >= config_.trap_queue_capacity) {
+    ++counters_.traps_dropped;
+    return;
+  }
+
+  TrapEvent event;
+  event.source = packet.src;
+  event.received_at = host_.clock().local_now();
+  for (const VarBind& vb : trap.pdu.varbinds) {
+    if (vb.oid == kSysUpTimeOid) continue;
+    if (vb.oid == kSnmpTrapOid && vb.value.is<Oid>()) {
+      event.trap_oid = vb.value.as<Oid>();
+      continue;
+    }
+    event.varbinds.push_back(vb);
+  }
+  trap_queue_.push_back(std::move(event));
+  if (!trap_worker_busy_) service_trap_queue();
+}
+
+void Manager::service_trap_queue() {
+  if (trap_queue_.empty()) {
+    trap_worker_busy_ = false;
+    return;
+  }
+  trap_worker_busy_ = true;
+  // One service time per trap models the station's per-event CPU cost.
+  host_.simulator().schedule_in(config_.trap_service_time, [this] {
+    if (trap_queue_.empty()) {
+      trap_worker_busy_ = false;
+      return;
+    }
+    TrapEvent event = std::move(trap_queue_.front());
+    trap_queue_.pop_front();
+    ++counters_.traps_processed;
+    if (trap_handler_) trap_handler_(event);
+    service_trap_queue();
+  });
+}
+
+}  // namespace netmon::snmp

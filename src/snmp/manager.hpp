@@ -1,0 +1,139 @@
+#pragma once
+
+// SNMP management station: asynchronous GET/GETNEXT/SET with timeout and
+// retry, table walks, and a trap sink whose finite queue and service rate
+// model the platform limits the paper hit ("the management station could be
+// overrun by asynchronous traps", §5.2.4).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/udp.hpp"
+#include "snmp/pdu.hpp"
+
+namespace netmon::snmp {
+
+struct ManagerCounters {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t timeouts = 0;  // requests abandoned after all retries
+  std::uint64_t traps_received = 0;   // reached the UDP socket
+  std::uint64_t traps_dropped = 0;    // arrived but queue was full
+  std::uint64_t traps_processed = 0;  // handed to the application handler
+};
+
+struct SnmpResult {
+  bool ok = false;
+  ErrorStatus error_status = ErrorStatus::kNoError;
+  std::vector<VarBind> varbinds;  // empty on timeout
+};
+
+struct TrapEvent {
+  net::IpAddr source;
+  Oid trap_oid;
+  std::vector<VarBind> varbinds;  // excludes the two standard leading binds
+  sim::TimePoint received_at;     // manager local clock
+};
+
+class Manager {
+ public:
+  struct Config {
+    std::string community = "public";
+    sim::Duration timeout = sim::Duration::ms(500);
+    int retries = 1;  // retransmissions after the first attempt
+    // Trap sink platform model.
+    std::size_t trap_queue_capacity = 64;
+    sim::Duration trap_service_time = sim::Duration::ms(2);
+    // Override when several managers share one host (only one may own the
+    // standard trap port).
+    std::uint16_t trap_port = kTrapPort;
+  };
+
+  using ResponseHandler = std::function<void(const SnmpResult&)>;
+  using TrapHandler = std::function<void(const TrapEvent&)>;
+
+  explicit Manager(net::Host& host);
+  Manager(net::Host& host, Config config);
+
+  void get(net::IpAddr agent, std::vector<Oid> oids, ResponseHandler handler);
+  void get_next(net::IpAddr agent, std::vector<Oid> oids,
+                ResponseHandler handler);
+  void set(net::IpAddr agent, std::vector<VarBind> varbinds,
+           ResponseHandler handler);
+  // GETBULK (SNMPv2c): steps each OID up to max_repetitions times.
+  void get_bulk(net::IpAddr agent, std::vector<Oid> oids,
+                std::int32_t max_repetitions, ResponseHandler handler);
+  // Walks the subtree under `root` with repeated GETNEXT; hands the
+  // collected varbinds (possibly empty) to `handler` when done.
+  void walk(net::IpAddr agent, Oid root,
+            std::function<void(std::vector<VarBind>)> handler);
+  // Same result as walk() but via GETBULK: ~max_repetitions fewer round
+  // trips (and proportionally less management traffic).
+  void bulk_walk(net::IpAddr agent, Oid root, std::int32_t max_repetitions,
+                 std::function<void(std::vector<VarBind>)> handler);
+
+  void set_trap_handler(TrapHandler handler) { trap_handler_ = std::move(handler); }
+
+  // Heartbeat watch (paper §5.2.4: "a network monitor may need to perform
+  // background polling to detect network failure between it and the
+  // network element which would prevent the reception of traps").
+  // `handler` fires on every up/down transition of the agent.
+  using HealthHandler = std::function<void(net::IpAddr, bool up)>;
+  int watch_agent(net::IpAddr agent, sim::Duration interval,
+                  HealthHandler handler, int failures_for_down = 2);
+  void unwatch(int watch_id);
+  // Current belief about a watched agent (nullopt before the first result).
+  std::optional<bool> agent_up(net::IpAddr agent) const;
+
+  const ManagerCounters& counters() const { return counters_; }
+  net::Host& host() { return host_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct Pending {
+    net::IpAddr agent;
+    Message message;
+    ResponseHandler handler;
+    int attempts_left;
+    sim::EventHandle timer;
+  };
+
+  void send_request(net::IpAddr agent, PduType type,
+                    std::vector<VarBind> varbinds, ResponseHandler handler);
+  void transmit(std::int32_t request_id);
+  void on_timeout(std::int32_t request_id);
+  void on_response_datagram(const net::Packet& packet);
+  void on_trap_datagram(const net::Packet& packet);
+  void service_trap_queue();
+
+  struct Watch {
+    net::IpAddr agent;
+    HealthHandler handler;
+    int failures_for_down;
+    int consecutive_failures = 0;
+    std::optional<bool> believed_up;
+    sim::PeriodicTask task;
+  };
+
+  net::Host& host_;
+  Config config_;
+  net::UdpSocket& request_socket_;
+  net::UdpSocket& trap_socket_;
+  std::int32_t next_request_id_ = 1;
+  std::unordered_map<std::int32_t, Pending> pending_;
+  std::unordered_map<int, Watch> watches_;
+  int next_watch_id_ = 1;
+  TrapHandler trap_handler_;
+  std::deque<TrapEvent> trap_queue_;
+  bool trap_worker_busy_ = false;
+  ManagerCounters counters_;
+};
+
+}  // namespace netmon::snmp

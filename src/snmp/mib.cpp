@@ -1,0 +1,72 @@
+#include "snmp/mib.hpp"
+
+#include <stdexcept>
+
+namespace netmon::snmp {
+
+void MibTree::add(const Oid& oid, std::function<SnmpValue()> getter) {
+  MibVariable var;
+  var.get = std::move(getter);
+  var.access = Access::kReadOnly;
+  if (!vars_.emplace(oid, std::move(var)).second) {
+    throw std::logic_error("MibTree: duplicate OID " + oid.to_string());
+  }
+}
+
+void MibTree::add_writable(const Oid& oid, std::function<SnmpValue()> getter,
+                           std::function<bool(const SnmpValue&)> setter) {
+  MibVariable var;
+  var.get = std::move(getter);
+  var.set = std::move(setter);
+  var.access = Access::kReadWrite;
+  if (!vars_.emplace(oid, std::move(var)).second) {
+    throw std::logic_error("MibTree: duplicate OID " + oid.to_string());
+  }
+}
+
+void MibTree::add_const(const Oid& oid, SnmpValue value) {
+  add(oid, [value] { return value; });
+}
+
+void MibTree::remove_subtree(const Oid& prefix) {
+  for (auto it = vars_.begin(); it != vars_.end();) {
+    if (it->first.starts_with(prefix)) {
+      it = vars_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+SnmpValue MibTree::get(const Oid& oid) const {
+  auto it = vars_.find(oid);
+  if (it == vars_.end()) return SnmpValue(NoSuchObject{});
+  return it->second.get();
+}
+
+std::optional<VarBind> MibTree::get_next(const Oid& oid) const {
+  auto it = vars_.upper_bound(oid);
+  if (it == vars_.end()) return std::nullopt;
+  return VarBind{it->first, it->second.get()};
+}
+
+ErrorStatus MibTree::set(const Oid& oid, const SnmpValue& value) {
+  auto it = vars_.find(oid);
+  if (it == vars_.end()) return ErrorStatus::kNoSuchName;
+  if (it->second.access != Access::kReadWrite || !it->second.set) {
+    return ErrorStatus::kReadOnly;
+  }
+  return it->second.set(value) ? ErrorStatus::kNoError
+                               : ErrorStatus::kBadValue;
+}
+
+std::vector<VarBind> MibTree::walk(const Oid& prefix) const {
+  std::vector<VarBind> out;
+  for (auto it = vars_.lower_bound(prefix); it != vars_.end(); ++it) {
+    if (!it->first.starts_with(prefix)) break;
+    out.push_back(VarBind{it->first, it->second.get()});
+  }
+  return out;
+}
+
+}  // namespace netmon::snmp

@@ -1,0 +1,56 @@
+#pragma once
+
+// Management Information Base: an ordered registry of OID-addressed
+// variables with callback-backed values (so MIB reads always reflect live
+// counters). GETNEXT walks the registry in lexicographic OID order.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "snmp/pdu.hpp"
+#include "snmp/value.hpp"
+
+namespace netmon::snmp {
+
+enum class Access { kReadOnly, kReadWrite };
+
+struct MibVariable {
+  std::function<SnmpValue()> get;
+  // Returns false to reject the write (wrong type / bad value).
+  std::function<bool(const SnmpValue&)> set;
+  Access access = Access::kReadOnly;
+};
+
+class MibTree {
+ public:
+  // Registers a variable; throws if the OID is already bound.
+  void add(const Oid& oid, std::function<SnmpValue()> getter);
+  void add_writable(const Oid& oid, std::function<SnmpValue()> getter,
+                    std::function<bool(const SnmpValue&)> setter);
+  // Registers a constant.
+  void add_const(const Oid& oid, SnmpValue value);
+  void remove(const Oid& oid) { vars_.erase(oid); }
+  void remove_subtree(const Oid& prefix);
+
+  bool contains(const Oid& oid) const { return vars_.count(oid) != 0; }
+  std::size_t size() const { return vars_.size(); }
+
+  // GET semantics: exact match or NoSuchObject.
+  SnmpValue get(const Oid& oid) const;
+  // GETNEXT semantics: the first variable with OID strictly greater;
+  // returns nullopt at the end of the MIB view.
+  std::optional<VarBind> get_next(const Oid& oid) const;
+  // SET semantics.
+  ErrorStatus set(const Oid& oid, const SnmpValue& value);
+
+  // Convenience: full ordered walk of a subtree.
+  std::vector<VarBind> walk(const Oid& prefix) const;
+
+ private:
+  std::map<Oid, MibVariable> vars_;
+};
+
+}  // namespace netmon::snmp

@@ -1,0 +1,92 @@
+#include "snmp/mib2.hpp"
+
+#include "net/tcp.hpp"
+#include "net/udp.hpp"
+
+namespace netmon::snmp {
+
+namespace {
+Counter32 c32(std::uint64_t v) {
+  return Counter32{static_cast<std::uint32_t>(v & 0xFFFFFFFFull)};
+}
+}  // namespace
+
+void register_mib2(MibTree& tree, net::Host& host) {
+  using namespace mib2;
+
+  // --- system -------------------------------------------------------------
+  tree.add_const(kSysDescr,
+                 SnmpValue(std::string("netmon simulated agent (MIB-II)")));
+  tree.add(kSysUpTime, [&host] {
+    // TimeTicks: hundredths of a second on the *local* clock.
+    const auto local = host.clock().local_now();
+    const std::int64_t ticks = local.nanos() / 10'000'000;
+    return SnmpValue(TimeTicks{static_cast<std::uint32_t>(
+        ticks < 0 ? 0 : ticks & 0xFFFFFFFF)});
+  });
+  tree.add_const(kSysName, SnmpValue(host.name()));
+
+  // --- interfaces -----------------------------------------------------------
+  tree.add(kIfNumber, [&host] {
+    return SnmpValue(static_cast<std::int64_t>(host.nics().size()));
+  });
+  for (std::uint32_t i = 0; i < host.nics().size(); ++i) {
+    net::Nic* nic = host.nics()[i].get();
+    const std::uint32_t index = i + 1;
+    tree.add(if_column(kIfIndex, index),
+             [index] { return SnmpValue(static_cast<std::int64_t>(index)); });
+    tree.add(if_column(kIfDescr, index),
+             [nic] { return SnmpValue(nic->name()); });
+    tree.add(if_column(kIfSpeed, index), [nic] {
+      const double bps =
+          nic->medium() != nullptr ? nic->medium()->bandwidth_bps() : 0.0;
+      return SnmpValue(Gauge32{static_cast<std::uint32_t>(bps)});
+    });
+    tree.add(if_column(kIfOperStatus, index), [nic] {
+      return SnmpValue(static_cast<std::int64_t>(nic->up() ? 1 : 2));
+    });
+    tree.add(if_column(kIfInOctets, index),
+             [nic] { return SnmpValue(c32(nic->counters().in_octets)); });
+    tree.add(if_column(kIfInUcastPkts, index),
+             [nic] { return SnmpValue(c32(nic->counters().in_frames)); });
+    tree.add(if_column(kIfInDiscards, index),
+             [nic] { return SnmpValue(c32(nic->counters().in_drops)); });
+    tree.add(if_column(kIfOutOctets, index),
+             [nic] { return SnmpValue(c32(nic->counters().out_octets)); });
+    tree.add(if_column(kIfOutUcastPkts, index),
+             [nic] { return SnmpValue(c32(nic->counters().out_frames)); });
+    tree.add(if_column(kIfOutDiscards, index),
+             [nic] { return SnmpValue(c32(nic->counters().out_drops)); });
+  }
+
+  // --- ip -------------------------------------------------------------------
+  tree.add(kIpInReceives,
+           [&host] { return SnmpValue(c32(host.counters().ip_in_receives)); });
+  tree.add(kIpForwDatagrams,
+           [&host] { return SnmpValue(c32(host.counters().ip_forwarded)); });
+  tree.add(kIpInDelivers,
+           [&host] { return SnmpValue(c32(host.counters().ip_in_delivers)); });
+  tree.add(kIpOutRequests,
+           [&host] { return SnmpValue(c32(host.counters().ip_out_requests)); });
+  tree.add(kIpOutNoRoutes,
+           [&host] { return SnmpValue(c32(host.counters().ip_no_routes)); });
+
+  // --- tcp --------------------------------------------------------------------
+  tree.add(kTcpCurrEstab, [&host] {
+    return SnmpValue(
+        Gauge32{static_cast<std::uint32_t>(host.tcp().active_connections())});
+  });
+
+  // --- udp --------------------------------------------------------------------
+  tree.add(kUdpInDatagrams, [&host] {
+    return SnmpValue(c32(host.udp().counters().in_datagrams));
+  });
+  tree.add(kUdpNoPorts, [&host] {
+    return SnmpValue(c32(host.udp().counters().no_ports));
+  });
+  tree.add(kUdpOutDatagrams, [&host] {
+    return SnmpValue(c32(host.udp().counters().out_datagrams));
+  });
+}
+
+}  // namespace netmon::snmp

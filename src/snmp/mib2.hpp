@@ -1,0 +1,54 @@
+#pragma once
+
+// MIB-II style standard groups wired to the live host/stack counters:
+// system, interfaces, ip, tcp, udp. This is the information a COTS agent
+// exposes — and, per the paper (§5.2.4), only a small slice of the state a
+// high-fidelity monitor would want (e.g. 5 of 22 TCP state variables).
+
+#include "net/host.hpp"
+#include "snmp/mib.hpp"
+
+namespace netmon::snmp {
+
+// Well-known OIDs of the variables the scalable monitor polls.
+namespace mib2 {
+inline const Oid kSysDescr{1, 3, 6, 1, 2, 1, 1, 1, 0};
+inline const Oid kSysUpTime{1, 3, 6, 1, 2, 1, 1, 3, 0};
+inline const Oid kSysName{1, 3, 6, 1, 2, 1, 1, 5, 0};
+inline const Oid kIfNumber{1, 3, 6, 1, 2, 1, 2, 1, 0};
+inline const Oid kIfTableEntry{1, 3, 6, 1, 2, 1, 2, 2, 1};
+// Columns within ifEntry.
+constexpr std::uint32_t kIfIndex = 1;
+constexpr std::uint32_t kIfDescr = 2;
+constexpr std::uint32_t kIfSpeed = 5;
+constexpr std::uint32_t kIfOperStatus = 8;
+constexpr std::uint32_t kIfInOctets = 10;
+constexpr std::uint32_t kIfInUcastPkts = 11;
+constexpr std::uint32_t kIfInDiscards = 13;
+constexpr std::uint32_t kIfOutOctets = 16;
+constexpr std::uint32_t kIfOutUcastPkts = 17;
+constexpr std::uint32_t kIfOutDiscards = 19;
+
+inline Oid if_column(std::uint32_t column, std::uint32_t if_index) {
+  return kIfTableEntry.with({column, if_index});
+}
+
+inline const Oid kIpInReceives{1, 3, 6, 1, 2, 1, 4, 3, 0};
+inline const Oid kIpForwDatagrams{1, 3, 6, 1, 2, 1, 4, 6, 0};
+inline const Oid kIpInDelivers{1, 3, 6, 1, 2, 1, 4, 9, 0};
+inline const Oid kIpOutRequests{1, 3, 6, 1, 2, 1, 4, 10, 0};
+inline const Oid kIpOutNoRoutes{1, 3, 6, 1, 2, 1, 4, 12, 0};
+
+inline const Oid kTcpCurrEstab{1, 3, 6, 1, 2, 1, 6, 9, 0};
+
+inline const Oid kUdpInDatagrams{1, 3, 6, 1, 2, 1, 7, 1, 0};
+inline const Oid kUdpNoPorts{1, 3, 6, 1, 2, 1, 7, 2, 0};
+inline const Oid kUdpOutDatagrams{1, 3, 6, 1, 2, 1, 7, 4, 0};
+}  // namespace mib2
+
+// Registers the standard groups for `host` into `tree`. sysUpTime is
+// derived from the host's (drifting, quantized) local clock, reproducing
+// the COTS timestamp-granularity fidelity limits.
+void register_mib2(MibTree& tree, net::Host& host);
+
+}  // namespace netmon::snmp

@@ -1,0 +1,64 @@
+#include "snmp/oid.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace netmon::snmp {
+
+Oid Oid::parse(const std::string& text) {
+  std::vector<std::uint32_t> ids;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('.', pos);
+    if (end == std::string::npos) end = text.size();
+    if (end == pos) throw std::invalid_argument("Oid::parse: empty component");
+    std::uint64_t value = 0;
+    for (std::size_t i = pos; i < end; ++i) {
+      const char c = text[i];
+      if (c < '0' || c > '9') {
+        throw std::invalid_argument("Oid::parse: non-digit in " + text);
+      }
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+      if (value > 0xFFFFFFFFull) {
+        throw std::invalid_argument("Oid::parse: component overflow");
+      }
+    }
+    ids.push_back(static_cast<std::uint32_t>(value));
+    pos = end + 1;
+  }
+  if (ids.empty()) throw std::invalid_argument("Oid::parse: empty oid");
+  return Oid(std::move(ids));
+}
+
+bool Oid::starts_with(const Oid& prefix) const {
+  if (prefix.ids_.size() > ids_.size()) return false;
+  for (std::size_t i = 0; i < prefix.ids_.size(); ++i) {
+    if (ids_[i] != prefix.ids_[i]) return false;
+  }
+  return true;
+}
+
+Oid Oid::with(std::initializer_list<std::uint32_t> suffix) const {
+  std::vector<std::uint32_t> ids = ids_;
+  ids.insert(ids.end(), suffix.begin(), suffix.end());
+  return Oid(std::move(ids));
+}
+
+Oid Oid::suffix_after(const Oid& prefix) const {
+  if (!starts_with(prefix)) {
+    throw std::invalid_argument("Oid::suffix_after: not a prefix");
+  }
+  return Oid(std::vector<std::uint32_t>(ids_.begin() + prefix.size(),
+                                        ids_.end()));
+}
+
+std::string Oid::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (i) out += '.';
+    out += std::to_string(ids_[i]);
+  }
+  return out;
+}
+
+}  // namespace netmon::snmp

@@ -1,0 +1,55 @@
+#pragma once
+
+// SNMP object identifiers with lexicographic ordering (the order GETNEXT
+// walks follow).
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace netmon::snmp {
+
+class Oid {
+ public:
+  Oid() = default;
+  Oid(std::initializer_list<std::uint32_t> ids) : ids_(ids) {}
+  explicit Oid(std::vector<std::uint32_t> ids) : ids_(std::move(ids)) {}
+
+  // Parses "1.3.6.1.2.1.1.1.0"; throws std::invalid_argument on bad input.
+  static Oid parse(const std::string& text);
+
+  const std::vector<std::uint32_t>& ids() const { return ids_; }
+  std::size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  std::uint32_t operator[](std::size_t i) const { return ids_.at(i); }
+
+  bool starts_with(const Oid& prefix) const;
+  // New OID with extra components appended.
+  Oid with(std::initializer_list<std::uint32_t> suffix) const;
+  Oid with(std::uint32_t id) const { return with({id}); }
+  // Suffix after `prefix` (requires starts_with(prefix)).
+  Oid suffix_after(const Oid& prefix) const;
+
+  std::string to_string() const;
+
+  auto operator<=>(const Oid&) const = default;
+
+ private:
+  std::vector<std::uint32_t> ids_;
+};
+
+// Well-known roots.
+namespace oids {
+inline const Oid kMib2{1, 3, 6, 1, 2, 1};
+inline const Oid kSystem{1, 3, 6, 1, 2, 1, 1};
+inline const Oid kInterfaces{1, 3, 6, 1, 2, 1, 2};
+inline const Oid kIp{1, 3, 6, 1, 2, 1, 4};
+inline const Oid kTcp{1, 3, 6, 1, 2, 1, 6};
+inline const Oid kUdp{1, 3, 6, 1, 2, 1, 7};
+inline const Oid kRmon{1, 3, 6, 1, 2, 1, 16};
+inline const Oid kEnterprises{1, 3, 6, 1, 4, 1};
+}  // namespace oids
+
+}  // namespace netmon::snmp

@@ -1,0 +1,86 @@
+#include "snmp/pdu.hpp"
+
+namespace netmon::snmp {
+
+namespace {
+BerTag tag_for(PduType type) {
+  switch (type) {
+    case PduType::kGetRequest: return BerTag::kGetRequest;
+    case PduType::kGetNextRequest: return BerTag::kGetNextRequest;
+    case PduType::kResponse: return BerTag::kResponse;
+    case PduType::kSetRequest: return BerTag::kSetRequest;
+    case PduType::kGetBulk: return BerTag::kGetBulkRequest;
+    case PduType::kTrap: return BerTag::kTrapV2;
+  }
+  throw BerError("unknown PDU type");
+}
+
+PduType type_for(BerTag tag) {
+  switch (tag) {
+    case BerTag::kGetRequest: return PduType::kGetRequest;
+    case BerTag::kGetNextRequest: return PduType::kGetNextRequest;
+    case BerTag::kResponse: return PduType::kResponse;
+    case BerTag::kSetRequest: return PduType::kSetRequest;
+    case BerTag::kGetBulkRequest: return PduType::kGetBulk;
+    case BerTag::kTrapV2: return PduType::kTrap;
+    default:
+      throw BerError("unknown PDU tag " +
+                     std::to_string(static_cast<int>(tag)));
+  }
+}
+}  // namespace
+
+std::vector<std::uint8_t> Message::encode() const {
+  BerWriter varbinds;
+  for (const VarBind& vb : pdu.varbinds) {
+    BerWriter one;
+    one.write_oid(vb.oid);
+    one.write_value(vb.value);
+    varbinds.write_constructed(BerTag::kSequence, one);
+  }
+
+  BerWriter body;
+  body.write_integer(pdu.request_id);
+  body.write_integer(static_cast<std::int64_t>(pdu.error_status));
+  body.write_integer(pdu.error_index);
+  body.write_constructed(BerTag::kSequence, varbinds);
+
+  BerWriter message;
+  message.write_integer(1);  // version: SNMPv2c
+  message.write_octet_string(community);
+  message.write_constructed(tag_for(pdu.type), body);
+
+  BerWriter top;
+  top.write_constructed(BerTag::kSequence, message);
+  return top.take();
+}
+
+Message Message::decode(std::span<const std::uint8_t> bytes) {
+  BerReader top(bytes);
+  BerReader msg = top.enter_constructed(BerTag::kSequence);
+
+  Message out;
+  const std::int64_t version = msg.read_integer();
+  if (version != 1) throw BerError("SNMP: unsupported version");
+  out.community = msg.read_octet_string();
+
+  BerTag pdu_tag{};
+  BerReader body = msg.enter_any_constructed(pdu_tag);
+  out.pdu.type = type_for(pdu_tag);
+  out.pdu.request_id = static_cast<std::int32_t>(body.read_integer());
+  out.pdu.error_status =
+      static_cast<ErrorStatus>(body.read_integer());
+  out.pdu.error_index = static_cast<std::int32_t>(body.read_integer());
+
+  BerReader varbinds = body.enter_constructed(BerTag::kSequence);
+  while (!varbinds.at_end()) {
+    BerReader one = varbinds.enter_constructed(BerTag::kSequence);
+    VarBind vb;
+    vb.oid = one.read_oid();
+    vb.value = one.read_value();
+    out.pdu.varbinds.push_back(std::move(vb));
+  }
+  return out;
+}
+
+}  // namespace netmon::snmp

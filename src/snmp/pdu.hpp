@@ -1,0 +1,73 @@
+#pragma once
+
+// SNMPv2c message and PDU structures plus their BER wire codec.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "snmp/ber.hpp"
+#include "snmp/value.hpp"
+
+namespace netmon::snmp {
+
+enum class PduType : std::uint8_t {
+  kGetRequest,
+  kGetNextRequest,
+  kResponse,
+  kSetRequest,
+  kGetBulk,
+  kTrap,
+};
+
+enum class ErrorStatus : std::int8_t {
+  kNoError = 0,
+  kTooBig = 1,
+  kNoSuchName = 2,
+  kBadValue = 3,
+  kReadOnly = 4,
+  kGenErr = 5,
+};
+
+struct Pdu {
+  PduType type = PduType::kGetRequest;
+  std::int32_t request_id = 0;
+  // For kGetBulk these two fields are non-repeaters / max-repetitions
+  // (encoded in the same positions per RFC 1905).
+  ErrorStatus error_status = ErrorStatus::kNoError;
+  std::int32_t error_index = 0;
+  std::int32_t non_repeaters() const { return static_cast<std::int32_t>(error_status); }
+  std::int32_t max_repetitions() const { return error_index; }
+  void set_bulk(std::int32_t non_repeaters, std::int32_t max_repetitions) {
+    error_status = static_cast<ErrorStatus>(non_repeaters);
+    error_index = max_repetitions;
+  }
+  std::vector<VarBind> varbinds;
+};
+
+struct Message {
+  std::string community = "public";
+  Pdu pdu;
+
+  std::vector<std::uint8_t> encode() const;
+  // Throws BerError on malformed input.
+  static Message decode(std::span<const std::uint8_t> bytes);
+};
+
+// Typed UDP payload wrapping the encoded message. payload_bytes of the
+// carrying packet equals bytes.size(), so wire accounting is exact.
+struct SnmpDatagram : net::Payload {
+  explicit SnmpDatagram(std::vector<std::uint8_t> b) : bytes(std::move(b)) {}
+  std::vector<std::uint8_t> bytes;
+};
+
+constexpr std::uint16_t kSnmpPort = 161;
+constexpr std::uint16_t kTrapPort = 162;
+
+// Standard varbinds carried first in every v2c trap.
+inline const Oid kSysUpTimeOid{1, 3, 6, 1, 2, 1, 1, 3, 0};
+inline const Oid kSnmpTrapOid{1, 3, 6, 1, 6, 3, 1, 1, 4, 1, 0};
+
+}  // namespace netmon::snmp

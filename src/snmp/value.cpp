@@ -1,0 +1,45 @@
+#include "snmp/value.hpp"
+
+#include <stdexcept>
+
+namespace netmon::snmp {
+
+std::uint64_t SnmpValue::to_uint64() const {
+  if (is<Counter32>()) return as<Counter32>().value;
+  if (is<Gauge32>()) return as<Gauge32>().value;
+  if (is<TimeTicks>()) return as<TimeTicks>().value;
+  if (is<Counter64>()) return as<Counter64>().value;
+  if (is<std::int64_t>()) {
+    const auto v = as<std::int64_t>();
+    if (v < 0) throw std::domain_error("SnmpValue::to_uint64: negative");
+    return static_cast<std::uint64_t>(v);
+  }
+  throw std::domain_error("SnmpValue::to_uint64: non-numeric value");
+}
+
+std::string SnmpValue::to_string() const {
+  struct Visitor {
+    std::string operator()(const Null&) const { return "null"; }
+    std::string operator()(std::int64_t v) const { return std::to_string(v); }
+    std::string operator()(const std::string& v) const { return '"' + v + '"'; }
+    std::string operator()(const Oid& v) const { return v.to_string(); }
+    std::string operator()(const net::IpAddr& v) const { return v.to_string(); }
+    std::string operator()(const Counter32& v) const {
+      return std::to_string(v.value) + "c";
+    }
+    std::string operator()(const Gauge32& v) const {
+      return std::to_string(v.value) + "g";
+    }
+    std::string operator()(const TimeTicks& v) const {
+      return std::to_string(v.value) + "t";
+    }
+    std::string operator()(const Counter64& v) const {
+      return std::to_string(v.value) + "C";
+    }
+    std::string operator()(const EndOfMibView&) const { return "endOfMibView"; }
+    std::string operator()(const NoSuchObject&) const { return "noSuchObject"; }
+  };
+  return std::visit(Visitor{}, v_);
+}
+
+}  // namespace netmon::snmp

@@ -1,0 +1,93 @@
+#pragma once
+
+// SNMP typed values (the ASN.1 subset SNMPv2c uses).
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "net/address.hpp"
+#include "snmp/oid.hpp"
+
+namespace netmon::snmp {
+
+struct Null {
+  bool operator==(const Null&) const = default;
+};
+// GETNEXT past the end of the MIB view returns this marker.
+struct EndOfMibView {
+  bool operator==(const EndOfMibView&) const = default;
+};
+struct NoSuchObject {
+  bool operator==(const NoSuchObject&) const = default;
+};
+
+struct Counter32 {
+  std::uint32_t value = 0;
+  bool operator==(const Counter32&) const = default;
+};
+struct Gauge32 {
+  std::uint32_t value = 0;
+  bool operator==(const Gauge32&) const = default;
+};
+// Hundredths of a second, per SNMP convention.
+struct TimeTicks {
+  std::uint32_t value = 0;
+  bool operator==(const TimeTicks&) const = default;
+};
+struct Counter64 {
+  std::uint64_t value = 0;
+  bool operator==(const Counter64&) const = default;
+};
+
+class SnmpValue {
+ public:
+  using Storage =
+      std::variant<Null, std::int64_t, std::string, Oid, net::IpAddr,
+                   Counter32, Gauge32, TimeTicks, Counter64, EndOfMibView,
+                   NoSuchObject>;
+
+  SnmpValue() : v_(Null{}) {}
+  SnmpValue(Storage v) : v_(std::move(v)) {}  // NOLINT: implicit by design
+  SnmpValue(std::int64_t v) : v_(v) {}
+  SnmpValue(int v) : v_(static_cast<std::int64_t>(v)) {}
+  SnmpValue(std::string v) : v_(std::move(v)) {}
+  SnmpValue(const char* v) : v_(std::string(v)) {}
+  SnmpValue(Oid v) : v_(std::move(v)) {}
+  SnmpValue(net::IpAddr v) : v_(v) {}
+  SnmpValue(Counter32 v) : v_(v) {}
+  SnmpValue(Gauge32 v) : v_(v) {}
+  SnmpValue(TimeTicks v) : v_(v) {}
+  SnmpValue(Counter64 v) : v_(v) {}
+
+  const Storage& storage() const { return v_; }
+
+  template <typename T>
+  bool is() const {
+    return std::holds_alternative<T>(v_);
+  }
+  template <typename T>
+  const T& as() const {
+    return std::get<T>(v_);
+  }
+
+  bool is_null() const { return is<Null>(); }
+  bool is_exception() const { return is<EndOfMibView>() || is<NoSuchObject>(); }
+
+  // Numeric view of counter-like values; throws for non-numeric types.
+  std::uint64_t to_uint64() const;
+  std::string to_string() const;
+
+  bool operator==(const SnmpValue&) const = default;
+
+ private:
+  Storage v_;
+};
+
+struct VarBind {
+  Oid oid;
+  SnmpValue value;
+  bool operator==(const VarBind&) const = default;
+};
+
+}  // namespace netmon::snmp

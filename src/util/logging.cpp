@@ -1,0 +1,45 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace netmon::util {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view msg) {
+  std::string record;
+  if (time_source_) {
+    record += time_source_();
+    record += ' ';
+  }
+  record += level_name(level);
+  record += " [";
+  record += component;
+  record += "] ";
+  record += msg;
+  if (sink_) {
+    sink_(record);
+  } else {
+    std::fprintf(stderr, "%s\n", record.c_str());
+  }
+}
+
+}  // namespace netmon::util

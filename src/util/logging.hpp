@@ -1,0 +1,76 @@
+#pragma once
+
+// Minimal leveled logger. The simulator installs a time-source hook so every
+// record carries the current simulated time rather than wall-clock time.
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace netmon::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  // Installed by the simulator; returns a "[t=...]" prefix for records.
+  void set_time_source(std::function<std::string()> source) {
+    time_source_ = std::move(source);
+  }
+  void clear_time_source() { time_source_ = nullptr; }
+
+  // Redirect output (tests capture records this way). Default: stderr.
+  void set_sink(std::function<void(std::string_view)> sink) {
+    sink_ = std::move(sink);
+  }
+  void clear_sink() { sink_ = nullptr; }
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+  void write(LogLevel level, std::string_view component, std::string_view msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::function<std::string()> time_source_;
+  std::function<void(std::string_view)> sink_;
+};
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, std::string_view component, const Args&... args) {
+  Logger& logger = Logger::instance();
+  if (!logger.enabled(level)) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  logger.write(level, component, os.str());
+}
+
+#define NETMON_LOG(level, component, ...) \
+  ::netmon::util::log((level), (component), __VA_ARGS__)
+
+#define NETMON_TRACE(component, ...) \
+  NETMON_LOG(::netmon::util::LogLevel::kTrace, component, __VA_ARGS__)
+#define NETMON_DEBUG(component, ...) \
+  NETMON_LOG(::netmon::util::LogLevel::kDebug, component, __VA_ARGS__)
+#define NETMON_INFO(component, ...) \
+  NETMON_LOG(::netmon::util::LogLevel::kInfo, component, __VA_ARGS__)
+#define NETMON_WARN(component, ...) \
+  NETMON_LOG(::netmon::util::LogLevel::kWarn, component, __VA_ARGS__)
+#define NETMON_ERROR(component, ...) \
+  NETMON_LOG(::netmon::util::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace netmon::util

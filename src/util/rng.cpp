@@ -1,0 +1,3 @@
+#include "util/rng.hpp"
+
+// Rng is header-only; this translation unit anchors the library target.

@@ -1,0 +1,45 @@
+#pragma once
+
+// Deterministic random source. Every stochastic component takes an explicit
+// Rng (or a seed) so whole-system runs are reproducible from a single seed.
+
+#include <cstdint>
+#include <random>
+
+namespace netmon::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  // Derive an independent child stream (for per-component determinism that
+  // is insensitive to the order other components draw in).
+  Rng fork() { return Rng(engine_() ^ 0xD1B54A32D192ED03ull); }
+
+  double uniform() { return uniform(0.0, 1.0); }
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+  std::uint64_t next() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace netmon::util

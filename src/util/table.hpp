@@ -1,0 +1,35 @@
+#pragma once
+
+// Plain-text table and CSV emission for the benchmark harnesses. Benches
+// print the paper's rows next to measured values with these helpers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netmon::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  TextTable& add_row(std::vector<std::string> cells);
+  // Render with column alignment, a header underline, and pipe separators.
+  std::string to_string() const;
+  std::string to_csv() const;
+  void print() const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_rate_mbps(double bits_per_second, int precision = 2);
+  static std::string fmt_bytes(std::uint64_t bytes);
+  static std::string fmt_percent(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section banner used by benches: "== EXP-A: ... ==".
+void print_banner(const std::string& title);
+
+}  // namespace netmon::util

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "apps/rtds.hpp"
+#include "apps/testbed.hpp"
+#include "apps/traffic.hpp"
+
+namespace netmon::apps {
+namespace {
+
+using sim::Duration;
+
+class RtdsFixture : public ::testing::Test {
+ protected:
+  RtdsFixture() {
+    TestbedOptions options;
+    options.servers = 2;
+    options.clients = 2;
+    bed = std::make_unique<Testbed>(sim, options);
+  }
+  sim::Simulator sim;
+  std::unique_ptr<Testbed> bed;
+};
+
+TEST_F(RtdsFixture, ClientsReceiveTracksAtServerPeriod) {
+  RtdsServer server(bed->server(0), RtdsServer::Config{});
+  RtdsClient c1(bed->client(0), RtdsClient::Config{});
+  RtdsClient c2(bed->client(1), RtdsClient::Config{});
+  server.start();
+  c1.connect(bed->server_ip(0));
+  c2.connect(bed->server_ip(0));
+  sim.run_for(Duration::sec(3));
+  // ~33 tracks/second for ~3 seconds.
+  EXPECT_GT(c1.tracks_received(), 80u);
+  EXPECT_GT(c2.tracks_received(), 80u);
+  EXPECT_EQ(server.subscriber_count(), 2u);
+  // Mean inter-arrival matches the 30 ms period.
+  EXPECT_NEAR(c1.interarrival_seconds().mean(), 0.030, 0.003);
+  EXPECT_EQ(c1.gaps(), 0u);
+}
+
+TEST_F(RtdsFixture, StoppedServerCausesGap) {
+  RtdsServer server(bed->server(0), RtdsServer::Config{});
+  RtdsClient client(bed->client(0), RtdsClient::Config{});
+  server.start();
+  client.connect(bed->server_ip(0));
+  sim.run_for(Duration::sec(1));
+  server.stop();
+  sim.run_for(Duration::sec(1));
+  server.start();
+  sim.run_for(Duration::sec(1));
+  EXPECT_GE(client.gaps(), 1u);
+  EXPECT_GT(client.longest_gap().to_seconds(), 0.9);
+}
+
+TEST_F(RtdsFixture, FailoverResumesTrackFlow) {
+  RtdsServer s0(bed->server(0), RtdsServer::Config{});
+  RtdsServer s1(bed->server(1), RtdsServer::Config{});
+  RtdsClient client(bed->client(0), RtdsClient::Config{});
+  s0.start();
+  client.connect(bed->server_ip(0));
+  sim.run_for(Duration::sec(1));
+  const auto before = client.tracks_received();
+  // Fail over: stop s0, move client to s1.
+  s0.stop();
+  s1.start();
+  client.connect(bed->server_ip(1));
+  sim.run_for(Duration::sec(1));
+  EXPECT_GT(client.tracks_received(), before + 20);
+  EXPECT_EQ(client.server(), bed->server_ip(1));
+}
+
+TEST_F(RtdsFixture, UnsubscribeStopsDelivery) {
+  RtdsServer server(bed->server(0), RtdsServer::Config{});
+  RtdsClient client(bed->client(0), RtdsClient::Config{});
+  server.start();
+  client.connect(bed->server_ip(0));
+  sim.run_for(Duration::sec(1));
+  client.disconnect();
+  sim.run_for(Duration::ms(200));
+  const auto count = client.tracks_received();
+  sim.run_for(Duration::sec(1));
+  EXPECT_LE(client.tracks_received(), count + 1);
+  EXPECT_EQ(server.subscriber_count(), 0u);
+}
+
+TEST_F(RtdsFixture, StaleSubscribersExpire) {
+  RtdsServer::Config cfg;
+  cfg.subscriber_ttl_periods = 10;  // 300 ms at P=30ms
+  RtdsServer server(bed->server(0), cfg);
+  RtdsClient::Config client_cfg;
+  client_cfg.resubscribe_interval = Duration::sec(60);  // effectively never
+  RtdsClient client(bed->client(0), client_cfg);
+  server.start();
+  client.connect(bed->server_ip(0));
+  sim.run_for(Duration::sec(2));
+  EXPECT_EQ(server.subscriber_count(), 0u);
+}
+
+TEST_F(RtdsFixture, ServerLoadMatchesPaperFormula) {
+  // One server, C clients: offered application load is C*(L/P) bits/s —
+  // the quantity the paper's overhead analysis (§5.1.3) builds on.
+  RtdsServer server(bed->server(0), RtdsServer::Config{});
+  RtdsClient c1(bed->client(0), RtdsClient::Config{});
+  RtdsClient c2(bed->client(1), RtdsClient::Config{});
+  server.start();
+  c1.connect(bed->server_ip(0));
+  c2.connect(bed->server_ip(0));
+  sim.run_for(Duration::sec(5));
+  const double expected_msgs = 2.0 * 5.0 / 0.030;
+  EXPECT_NEAR(static_cast<double>(server.messages_sent()), expected_msgs,
+              expected_msgs * 0.05);
+}
+
+TEST(Traffic, CbrHitsConfiguredRate) {
+  sim::Simulator sim;
+  SharedLanOptions options;
+  options.hosts = 2;
+  options.add_probe_host = false;
+  SharedLanTestbed bed(sim, options);
+  TrafficSink sink(bed.host(1));
+  CbrTraffic::Config cfg;
+  cfg.rate_bps = 1e6;
+  cfg.packet_bytes = 500;
+  CbrTraffic cbr(bed.host(0), bed.host_ip(1), cfg);
+  cbr.start();
+  sim.run_for(Duration::sec(4));
+  cbr.stop();
+  const double rate = static_cast<double>(sink.bytes()) * 8.0 / 4.0;
+  EXPECT_NEAR(rate, 1e6, 0.05e6);
+}
+
+TEST(Traffic, OnOffAlternatesAndDeliversBursts) {
+  sim::Simulator sim;
+  SharedLanOptions options;
+  options.hosts = 2;
+  options.add_probe_host = false;
+  SharedLanTestbed bed(sim, options);
+  TrafficSink sink(bed.host(1));
+  OnOffTraffic::Config cfg;
+  cfg.rate_bps = 4e6;
+  cfg.mean_on = Duration::ms(100);
+  cfg.mean_off = Duration::ms(100);
+  OnOffTraffic onoff(bed.host(0), bed.host_ip(1), cfg, util::Rng(17));
+  onoff.start();
+  sim.run_for(Duration::sec(5));
+  onoff.stop();
+  // Duty cycle ~50%: average rate should land well inside (0.2, 0.8)x rate.
+  const double rate = static_cast<double>(sink.bytes()) * 8.0 / 5.0;
+  EXPECT_GT(rate, 0.2 * cfg.rate_bps);
+  EXPECT_LT(rate, 0.8 * cfg.rate_bps);
+  EXPECT_GT(onoff.packets_sent(), 0u);
+}
+
+TEST(Traffic, StopHaltsSending) {
+  sim::Simulator sim;
+  SharedLanOptions options;
+  options.hosts = 2;
+  options.add_probe_host = false;
+  SharedLanTestbed bed(sim, options);
+  TrafficSink sink(bed.host(1));
+  CbrTraffic::Config cfg;
+  cfg.rate_bps = 1e6;
+  CbrTraffic cbr(bed.host(0), bed.host_ip(1), cfg);
+  cbr.start();
+  sim.run_for(Duration::sec(1));
+  cbr.stop();
+  const auto sent = cbr.packets_sent();
+  sim.run_for(Duration::sec(1));
+  EXPECT_EQ(cbr.packets_sent(), sent);
+}
+
+TEST(TestbedBuilder, BuildsRequestedShape) {
+  sim::Simulator sim;
+  TestbedOptions options;
+  options.servers = 3;
+  options.clients = 9;
+  Testbed bed(sim, options);
+  EXPECT_EQ(bed.server_count(), 3);
+  EXPECT_EQ(bed.client_count(), 9);
+  const auto matrix = bed.full_matrix({core::Metric::kThroughput});
+  EXPECT_EQ(matrix.size(), 27u);  // the paper's C*S = 27 paths
+  // Every host pair can talk.
+  int received = 0;
+  bed.client(8).udp().bind(7000, [&](const net::Packet&) { ++received; });
+  auto& sock = bed.server(2).udp().bind(0, nullptr);
+  sock.send_to(bed.client_ip(8), 7000, 100, nullptr,
+               net::TrafficClass::kApplication);
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(TestbedBuilder, ClockNoiseIsSeededAndBounded) {
+  sim::Simulator sim1, sim2;
+  TestbedOptions options;
+  options.seed = 123;
+  options.clocks.offset_spread = Duration::ms(10);
+  Testbed bed1(sim1, options);
+  Testbed bed2(sim2, options);
+  for (int i = 0; i < bed1.server_count(); ++i) {
+    const auto o1 = bed1.server(i).clock().configured_offset();
+    const auto o2 = bed2.server(i).clock().configured_offset();
+    EXPECT_EQ(o1.nanos(), o2.nanos());  // reproducible
+    EXPECT_LE(std::abs(o1.nanos()), Duration::ms(10).nanos());
+  }
+}
+
+}  // namespace
+}  // namespace netmon::apps

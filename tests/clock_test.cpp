@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clock/host_clock.hpp"
+#include "clock/ntp.hpp"
+#include "net/topology.hpp"
+
+namespace netmon::clk {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TEST(HostClock, PerfectClockTracksSimTime) {
+  sim::Simulator sim;
+  HostClock clock(sim);
+  sim.schedule_in(Duration::ms(123), [&] {
+    EXPECT_EQ(clock.local_now().nanos(), sim.now().nanos());
+    EXPECT_EQ(clock.true_error().nanos(), 0);
+  });
+  sim.run();
+}
+
+TEST(HostClock, OffsetShiftsReading) {
+  sim::Simulator sim;
+  HostClock clock(sim, Duration::ms(5));
+  EXPECT_EQ(clock.local_now().nanos(), Duration::ms(5).nanos());
+  EXPECT_EQ(clock.true_error().nanos(), Duration::ms(5).nanos());
+}
+
+TEST(HostClock, DriftAccumulates) {
+  sim::Simulator sim;
+  HostClock clock(sim, Duration::ns(0), 100.0);  // 100 ppm fast
+  sim.schedule_in(Duration::sec(10), [&] {
+    // 100 ppm over 10 s = 1 ms ahead.
+    EXPECT_NEAR(static_cast<double>(clock.true_error().nanos()), 1e6, 1e3);
+  });
+  sim.run();
+}
+
+TEST(HostClock, GranularityQuantizesDownward) {
+  sim::Simulator sim;
+  HostClock clock(sim, Duration::ns(0), 0.0, Duration::ms(10));
+  sim.schedule_in(Duration::ms(27), [&] {
+    EXPECT_EQ(clock.local_now().nanos(), Duration::ms(20).nanos());
+  });
+  sim.run();
+}
+
+TEST(HostClock, AdjustSlewsReading) {
+  sim::Simulator sim;
+  HostClock clock(sim, Duration::ms(-3));
+  clock.adjust(Duration::ms(3));
+  EXPECT_EQ(clock.true_error().nanos(), 0);
+}
+
+class NtpFixture : public ::testing::Test {
+ protected:
+  NtpFixture() : network(sim, util::Rng(21)) {
+    server_host = &network.add_host("timesrv", HostClock(sim));
+    client_host = &network.add_host(
+        "client", HostClock(sim, Duration::ms(40), 50.0, Duration::us(1)));
+    network.connect(*server_host, net::IpAddr(10, 0, 0, 1), *client_host,
+                    net::IpAddr(10, 0, 0, 2), 24, 10e6, Duration::us(200));
+    network.auto_route();
+    server = std::make_unique<NtpServer>(*server_host);
+  }
+  sim::Simulator sim;
+  net::Network network;
+  net::Host* server_host;
+  net::Host* client_host;
+  std::unique_ptr<NtpServer> server;
+};
+
+TEST_F(NtpFixture, SinglePollMeasuresOffsetAccurately) {
+  NtpClient client(*client_host, net::IpAddr(10, 0, 0, 1));
+  client.poll_once();
+  sim.run();
+  EXPECT_EQ(client.responses(), 1u);
+  // Client is 40 ms ahead: measured offset (server - client) ~ -40 ms,
+  // accurate to well under a millisecond on a symmetric path.
+  EXPECT_NEAR(static_cast<double>(client.last_measured_offset().nanos()),
+              -40e6, 1e5);
+}
+
+TEST_F(NtpFixture, PeriodicSyncConvergesAndHolds) {
+  NtpClient::Config cfg;
+  cfg.poll_interval = Duration::sec(4);
+  NtpClient client(*client_host, net::IpAddr(10, 0, 0, 1), cfg);
+  client.start();
+  sim.run_for(Duration::sec(120));
+  client.stop();
+  // 40 ms initial error + 50 ppm drift must be held to sub-millisecond.
+  EXPECT_LT(std::abs(static_cast<double>(
+                client_host->clock().true_error().nanos())),
+            1e6);
+  EXPECT_GE(client.responses(), 25u);
+}
+
+TEST_F(NtpFixture, LargeOffsetSteppedImmediately) {
+  client_host->clock().adjust(Duration::sec(5));  // gross error
+  NtpClient client(*client_host, net::IpAddr(10, 0, 0, 1));
+  client.poll_once();
+  sim.run();
+  // One exchange steps the clock to within path-asymmetry error.
+  EXPECT_LT(std::abs(static_cast<double>(
+                client_host->clock().true_error().nanos())),
+            1e6);
+}
+
+TEST_F(NtpFixture, ServerCountsRequests) {
+  NtpClient client(*client_host, net::IpAddr(10, 0, 0, 1));
+  client.poll_once();
+  sim.run();
+  EXPECT_EQ(server->requests_served(), 1u);
+}
+
+TEST_F(NtpFixture, BytesSentAccounting) {
+  NtpClient client(*client_host, net::IpAddr(10, 0, 0, 1));
+  client.poll_once();
+  client.poll_once();
+  sim.run();
+  EXPECT_EQ(client.polls_sent(), 2u);
+  EXPECT_EQ(client.bytes_sent(), 2u * (48 + 28 + 18));
+}
+
+TEST_F(NtpFixture, UnreachableServerLeavesClockUntouched) {
+  server_host->set_up(false);
+  const auto before = client_host->clock().true_error();
+  NtpClient client(*client_host, net::IpAddr(10, 0, 0, 1));
+  client.poll_once();
+  sim.run_for(Duration::sec(5));
+  EXPECT_EQ(client.responses(), 0u);
+  // Drift continues but no NTP-induced step happened.
+  EXPECT_NEAR(static_cast<double>(client_host->clock().true_error().nanos()),
+              static_cast<double>(before.nanos()) + 50e-6 * 5e9, 1e4);
+}
+
+}  // namespace
+}  // namespace netmon::clk

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "apps/rtds.hpp"
+#include "apps/testbed.hpp"
+#include "core/high_fidelity_monitor.hpp"
+#include "manager/resource_manager.hpp"
+
+namespace netmon::mgr {
+namespace {
+
+using sim::Duration;
+
+class ManagerFixture : public ::testing::Test {
+ protected:
+  ManagerFixture() {
+    apps::TestbedOptions options;
+    options.servers = 3;
+    options.clients = 4;
+    bed = std::make_unique<apps::Testbed>(sim, options);
+
+    core::HighFidelityMonitor::Config mon_cfg;
+    mon_cfg.probe.message_count = 4;
+    mon_cfg.probe.inter_send = Duration::ms(5);
+    mon_cfg.probe.result_timeout = Duration::ms(500);
+    monitor = std::make_unique<core::HighFidelityMonitor>(bed->network(),
+                                                          mon_cfg);
+  }
+
+  ManagedApplication rtds_app() {
+    ManagedApplication app;
+    app.name = "rtds";
+    for (int s = 0; s < bed->server_count(); ++s) {
+      app.server_pool.push_back(bed->server_ip(s));
+    }
+    for (int c = 0; c < bed->client_count(); ++c) {
+      app.client_pool.push_back(bed->client_ip(c));
+    }
+    app.port = apps::kRtdsPort;
+    return app;
+  }
+
+  ResourceManager::Config fast_config() {
+    ResourceManager::Config cfg;
+    cfg.metrics = {core::Metric::kReachability};
+    cfg.strikes = 2;
+    return cfg;
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<apps::Testbed> bed;
+  std::unique_ptr<core::HighFidelityMonitor> monitor;
+};
+
+TEST_F(ManagerFixture, SubmitsFullPathMatrix) {
+  ResourceManager manager(monitor->director(), fast_config());
+  manager.manage(rtds_app(), bed->server_ip(0));
+  sim.run_for(Duration::sec(5));
+  // 3 servers x 4 clients, reachability only, cycling continuously.
+  EXPECT_GE(manager.tuples_consumed(), 12u);
+  EXPECT_EQ(manager.active_server("rtds"), bed->server_ip(0));
+  EXPECT_EQ(manager.reconfigurations(), 0u);
+}
+
+TEST_F(ManagerFixture, InitialServerMustBeInPool) {
+  ResourceManager manager(monitor->director(), fast_config());
+  EXPECT_THROW(manager.manage(rtds_app(), net::IpAddr(99, 9, 9, 9)),
+               std::invalid_argument);
+}
+
+TEST_F(ManagerFixture, DuplicateManageRejected) {
+  ResourceManager manager(monitor->director(), fast_config());
+  manager.manage(rtds_app(), bed->server_ip(0));
+  EXPECT_THROW(manager.manage(rtds_app(), bed->server_ip(1)),
+               std::logic_error);
+}
+
+TEST_F(ManagerFixture, FailsOverWhenActiveServerDies) {
+  ResourceManager manager(monitor->director(), fast_config());
+  std::vector<ReconfigurationEvent> events;
+  manager.set_reconfiguration_callback(
+      [&](const ReconfigurationEvent& e) { events.push_back(e); });
+  manager.manage(rtds_app(), bed->server_ip(0));
+
+  sim.run_for(Duration::sec(10));
+  ASSERT_EQ(manager.reconfigurations(), 0u);
+
+  bed->server(0).set_up(false);
+  sim.run_for(Duration::sec(60));
+
+  ASSERT_GE(manager.reconfigurations(), 1u);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].old_server, bed->server_ip(0));
+  EXPECT_NE(manager.active_server("rtds"), bed->server_ip(0));
+  // The replacement must be a healthy pool member.
+  const auto active = manager.active_server("rtds");
+  EXPECT_TRUE(active == bed->server_ip(1) || active == bed->server_ip(2));
+}
+
+TEST_F(ManagerFixture, SingleClientFailureDoesNotTriggerFailover) {
+  ResourceManager::Config cfg = fast_config();
+  cfg.failure_fraction = 0.5;  // one of four clients is below threshold
+  ResourceManager manager(monitor->director(), cfg);
+  manager.manage(rtds_app(), bed->server_ip(0));
+
+  bed->client(3).set_up(false);
+  sim.run_for(Duration::sec(60));
+  EXPECT_EQ(manager.reconfigurations(), 0u);
+  EXPECT_GT(manager.failing_fraction("rtds", bed->server_ip(0)), 0.0);
+  EXPECT_LT(manager.failing_fraction("rtds", bed->server_ip(0)), 0.5);
+}
+
+TEST_F(ManagerFixture, RecoveredPathClearsStrikes) {
+  ResourceManager manager(monitor->director(), fast_config());
+  manager.manage(rtds_app(), bed->server_ip(0));
+  bed->client(0).set_up(false);
+  sim.run_for(Duration::sec(30));
+  EXPECT_GT(manager.failing_fraction("rtds", bed->server_ip(0)), 0.0);
+  bed->client(0).set_up(true);
+  sim.run_for(Duration::sec(30));
+  EXPECT_DOUBLE_EQ(manager.failing_fraction("rtds", bed->server_ip(0)), 0.0);
+}
+
+TEST_F(ManagerFixture, StopCancelsMonitoring) {
+  ResourceManager manager(monitor->director(), fast_config());
+  manager.manage(rtds_app(), bed->server_ip(0));
+  sim.run_for(Duration::sec(3));
+  manager.stop("rtds");
+  const auto consumed = manager.tuples_consumed();
+  sim.run_for(Duration::sec(5));
+  EXPECT_EQ(manager.tuples_consumed(), consumed);
+  EXPECT_THROW(manager.active_server("rtds"), std::out_of_range);
+}
+
+TEST_F(ManagerFixture, ThroughputRequirementTriggersStrikes) {
+  // Require more throughput than the probe's offered load can ever show:
+  // every sample strikes, forcing reconfiguration attempts (all servers are
+  // equally "bad", so the manager must pick some other pool member).
+  ResourceManager::Config cfg;
+  cfg.metrics = {core::Metric::kThroughput};
+  cfg.strikes = 2;
+  ResourceManager manager(monitor->director(), cfg);
+  auto app = rtds_app();
+  app.requirements.min_throughput_bps = 1e12;  // impossible
+  std::vector<ReconfigurationEvent> events;
+  manager.set_reconfiguration_callback(
+      [&](const ReconfigurationEvent& e) { events.push_back(e); });
+  manager.manage(app, bed->server_ip(0));
+  sim.run_for(Duration::sec(60));
+  EXPECT_GE(manager.reconfigurations(), 1u);
+}
+
+}  // namespace
+}  // namespace netmon::mgr

@@ -1,0 +1,582 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/traffic.hpp"
+#include "net/topology.hpp"
+#include "net/udp.hpp"
+
+namespace netmon::net {
+namespace {
+
+using sim::Duration;
+
+TEST(Address, MacFormatting) {
+  EXPECT_EQ(MacAddr(0x0200AABBCCDDull).to_string(), "02:00:aa:bb:cc:dd");
+  EXPECT_TRUE(MacAddr::broadcast().is_broadcast());
+  EXPECT_FALSE(MacAddr(1).is_broadcast());
+}
+
+TEST(Address, IpParseAndFormat) {
+  EXPECT_EQ(IpAddr::parse("10.0.1.2").to_string(), "10.0.1.2");
+  EXPECT_EQ(IpAddr(192, 168, 1, 250).raw(), 0xC0A801FAu);
+  EXPECT_THROW(IpAddr::parse("10.0.1"), std::invalid_argument);
+  EXPECT_THROW(IpAddr::parse("10.0.1.256"), std::invalid_argument);
+  EXPECT_THROW(IpAddr::parse("banana"), std::invalid_argument);
+}
+
+TEST(Address, PrefixContainment) {
+  const Prefix p(IpAddr(10, 0, 0, 0), 8);
+  EXPECT_TRUE(p.contains(IpAddr(10, 255, 3, 4)));
+  EXPECT_FALSE(p.contains(IpAddr(11, 0, 0, 1)));
+  const Prefix host_route(IpAddr(10, 0, 0, 7), 32);
+  EXPECT_TRUE(host_route.contains(IpAddr(10, 0, 0, 7)));
+  EXPECT_FALSE(host_route.contains(IpAddr(10, 0, 0, 8)));
+  const Prefix all(IpAddr(1, 2, 3, 4), 0);
+  EXPECT_TRUE(all.contains(IpAddr(200, 1, 1, 1)));
+  EXPECT_THROW(Prefix(IpAddr(), 33), std::invalid_argument);
+}
+
+TEST(Address, PrefixMasksHostBits) {
+  const Prefix p(IpAddr(10, 0, 3, 7), 16);
+  EXPECT_EQ(p.network().to_string(), "10.0.0.0");
+  EXPECT_EQ(p.to_string(), "10.0.0.0/16");
+}
+
+TEST(Packet, WireSizes) {
+  Packet p;
+  p.protocol = IpProto::kUdp;
+  p.payload_bytes = 100;
+  EXPECT_EQ(p.size_on_wire(), 128u);
+  p.protocol = IpProto::kTcp;
+  EXPECT_EQ(p.size_on_wire(), 140u);
+  Frame f{MacAddr(1), MacAddr(2), p};
+  EXPECT_EQ(f.size_bytes(), 158u);
+}
+
+TEST(Packet, MinimumFrameSize) {
+  Packet p;
+  p.payload_bytes = 1;
+  Frame f{MacAddr(1), MacAddr(2), p};
+  EXPECT_EQ(f.size_bytes(), Frame::kMinFrameBytes);
+}
+
+TEST(RoutingTable, LongestPrefixWins) {
+  RoutingTable table;
+  table.add(Prefix(IpAddr(10, 0, 0, 0), 8), IpAddr(1, 1, 1, 1), nullptr);
+  table.add(Prefix(IpAddr(10, 1, 0, 0), 16), IpAddr(2, 2, 2, 2), nullptr);
+  auto r = table.lookup(IpAddr(10, 1, 5, 5));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->gateway, IpAddr(2, 2, 2, 2));
+  r = table.lookup(IpAddr(10, 2, 5, 5));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->gateway, IpAddr(1, 1, 1, 1));
+  EXPECT_FALSE(table.lookup(IpAddr(11, 0, 0, 1)));
+}
+
+TEST(RoutingTable, LaterEqualLengthOverrides) {
+  RoutingTable table;
+  table.add(Prefix(IpAddr(10, 0, 0, 1), 32), IpAddr(1, 1, 1, 1), nullptr);
+  table.add(Prefix(IpAddr(10, 0, 0, 1), 32), IpAddr(9, 9, 9, 9), nullptr);
+  auto r = table.lookup(IpAddr(10, 0, 0, 1));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->gateway, IpAddr(9, 9, 9, 9));
+}
+
+TEST(RoutingTable, RemoveByPrefix) {
+  RoutingTable table;
+  table.add(Prefix(IpAddr(10, 0, 0, 1), 32), IpAddr(1, 1, 1, 1), nullptr);
+  table.remove(Prefix(IpAddr(10, 0, 0, 1), 32));
+  EXPECT_FALSE(table.lookup(IpAddr(10, 0, 0, 1)));
+}
+
+// --- fixture: two hosts on a point-to-point link -------------------------
+
+class P2PFixture : public ::testing::Test {
+ protected:
+  P2PFixture() : network(sim, util::Rng(1)) {
+    a = &network.add_host("a");
+    b = &network.add_host("b");
+    network.connect(*a, IpAddr(10, 0, 0, 1), *b, IpAddr(10, 0, 0, 2), 24,
+                    10e6, Duration::us(100));
+    network.auto_route();
+  }
+  sim::Simulator sim;
+  Network network;
+  net::Host* a;
+  net::Host* b;
+};
+
+TEST_F(P2PFixture, UdpDatagramDelivered) {
+  int received = 0;
+  IpAddr seen_src;
+  b->udp().bind(7000, [&](const Packet& p) {
+    ++received;
+    seen_src = p.src;
+  });
+  auto& sock = a->udp().bind(0, nullptr);
+  sock.send_to(IpAddr(10, 0, 0, 2), 7000, 100, nullptr,
+               TrafficClass::kApplication);
+  sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(seen_src, IpAddr(10, 0, 0, 1));
+}
+
+TEST_F(P2PFixture, DeliveryDelayMatchesSerializationPlusPropagation) {
+  sim::TimePoint arrival{};
+  b->udp().bind(7000, [&](const Packet&) { arrival = sim.now(); });
+  auto& sock = a->udp().bind(0, nullptr);
+  sock.send_to(IpAddr(10, 0, 0, 2), 7000, 1000, nullptr,
+               TrafficClass::kApplication);
+  sim.run();
+  // Frame = 1000 + 28 + 18 = 1046 B -> 836.8us at 10 Mb/s, +100us prop.
+  const double expected = 1046.0 * 8.0 / 10e6 + 100e-6;
+  EXPECT_NEAR(arrival.to_seconds(), expected, 1e-9);
+}
+
+TEST_F(P2PFixture, NoDuplicationNoReorderOnLink) {
+  std::vector<std::uint64_t> ids;
+  b->udp().bind(7000, [&](const Packet& p) { ids.push_back(p.id); });
+  std::vector<std::uint64_t> sent;
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_in(Duration::us(i), [&, i] {
+      Packet p;
+      p.dst = IpAddr(10, 0, 0, 2);
+      p.dst_port = 7000;
+      p.payload_bytes = 200;
+      p.id = 1000 + i;
+      sent.push_back(p.id);
+      a->send_packet(std::move(p));
+    });
+  }
+  sim.run();
+  EXPECT_EQ(ids, sent);
+}
+
+TEST_F(P2PFixture, ByteConservationOnNics) {
+  b->udp().bind(7000, nullptr);
+  auto& sock = a->udp().bind(0, nullptr);
+  for (int i = 0; i < 300; ++i) {
+    sock.send_to(IpAddr(10, 0, 0, 2), 7000, 1200, nullptr,
+                 TrafficClass::kApplication);
+  }
+  sim.run();
+  const auto& out = a->nic(0).counters();
+  const auto& in = b->nic(0).counters();
+  // Everything transmitted was either delivered or dropped at the sender's
+  // queue; nothing vanished on the wire.
+  EXPECT_EQ(out.out_frames + out.out_drops, 300u);
+  EXPECT_EQ(in.in_frames, out.out_frames);
+  EXPECT_EQ(in.in_octets, out.out_octets);
+  EXPECT_GT(out.out_drops, 0u);  // a 64-deep queue can't hold a 300 blast
+}
+
+TEST_F(P2PFixture, LinkDownHoldsTrafficUntilRestored) {
+  int received = 0;
+  b->udp().bind(7000, [&](const Packet&) { ++received; });
+  network.links()[0]->set_up(false);
+  auto& sock = a->udp().bind(0, nullptr);
+  sock.send_to(IpAddr(10, 0, 0, 2), 7000, 100, nullptr,
+               TrafficClass::kApplication);
+  sim.run();
+  EXPECT_EQ(received, 0);
+  // The frame stayed in the NIC queue (carrier loss does not clear host
+  // queues); restoring the link releases it, plus anything sent after.
+  network.links()[0]->set_up(true);
+  sock.send_to(IpAddr(10, 0, 0, 2), 7000, 100, nullptr,
+               TrafficClass::kApplication);
+  sim.run();
+  EXPECT_EQ(received, 2);
+}
+
+TEST_F(P2PFixture, LinkDownDropsFramesInFlight) {
+  int received = 0;
+  b->udp().bind(7000, [&](const Packet&) { ++received; });
+  auto& sock = a->udp().bind(0, nullptr);
+  sock.send_to(IpAddr(10, 0, 0, 2), 7000, 1000, nullptr,
+               TrafficClass::kApplication);
+  // Cut the link mid-flight (serialization alone takes ~837us).
+  sim.schedule_in(Duration::us(200),
+                  [&] { network.links()[0]->set_up(false); });
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(network.links()[0]->frames_dropped_down(), 1u);
+}
+
+TEST_F(P2PFixture, HostDownNeitherSendsNorReceives) {
+  int received = 0;
+  b->udp().bind(7000, [&](const Packet&) { ++received; });
+  b->set_up(false);
+  auto& sock = a->udp().bind(0, nullptr);
+  sock.send_to(IpAddr(10, 0, 0, 2), 7000, 100, nullptr,
+               TrafficClass::kApplication);
+  sim.run();
+  EXPECT_EQ(received, 0);
+  // A down host cannot originate traffic either.
+  a->set_up(false);
+  auto& sock2 = a->udp().bind(0, nullptr);
+  EXPECT_FALSE(sock2.send_to(IpAddr(10, 0, 0, 2), 7000, 100, nullptr,
+                             TrafficClass::kApplication));
+}
+
+TEST_F(P2PFixture, TrafficClassAccounting) {
+  b->udp().bind(7000, nullptr);
+  auto& sock = a->udp().bind(0, nullptr);
+  sock.send_to(IpAddr(10, 0, 0, 2), 7000, 100, nullptr,
+               TrafficClass::kMonitoring);
+  sock.send_to(IpAddr(10, 0, 0, 2), 7000, 100, nullptr,
+               TrafficClass::kManagement);
+  sim.run();
+  const auto totals = network.octets_by_class();
+  EXPECT_EQ(totals[static_cast<std::size_t>(TrafficClass::kMonitoring)],
+            totals[static_cast<std::size_t>(TrafficClass::kManagement)]);
+  EXPECT_GT(totals[static_cast<std::size_t>(TrafficClass::kMonitoring)], 0u);
+  EXPECT_EQ(totals[static_cast<std::size_t>(TrafficClass::kApplication)], 0u);
+}
+
+TEST_F(P2PFixture, NoRouteCounted) {
+  Packet p;
+  p.dst = IpAddr(99, 9, 9, 9);
+  p.dst_port = 1;
+  EXPECT_FALSE(a->send_packet(std::move(p)));
+  EXPECT_EQ(a->counters().ip_no_routes, 1u);
+}
+
+// --- shared segment -------------------------------------------------------
+
+class SharedFixture : public ::testing::Test {
+ protected:
+  SharedFixture() : network(sim, util::Rng(3)) {
+    segment = &network.add_segment("lan", 10e6, Duration::us(5));
+    for (int i = 0; i < 4; ++i) {
+      auto& host = network.add_host("h" + std::to_string(i));
+      network.attach(host, *segment,
+                     IpAddr(192, 168, 0, std::uint8_t(i + 1)), 24);
+      hosts.push_back(&host);
+    }
+    network.auto_route();
+  }
+  sim::Simulator sim;
+  Network network;
+  SharedSegment* segment;
+  std::vector<net::Host*> hosts;
+};
+
+TEST_F(SharedFixture, EveryHostDeliversUnicastOnlyToTarget) {
+  int at_target = 0, at_others = 0;
+  hosts[1]->udp().bind(7000, [&](const Packet&) { ++at_target; });
+  hosts[2]->udp().bind(7000, [&](const Packet&) { ++at_others; });
+  hosts[3]->udp().bind(7000, [&](const Packet&) { ++at_others; });
+  auto& sock = hosts[0]->udp().bind(0, nullptr);
+  sock.send_to(IpAddr(192, 168, 0, 2), 7000, 100, nullptr,
+               TrafficClass::kApplication);
+  sim.run();
+  EXPECT_EQ(at_target, 1);
+  EXPECT_EQ(at_others, 0);
+}
+
+TEST_F(SharedFixture, PromiscuousTapSeesThirdPartyTraffic) {
+  std::uint64_t tapped = 0;
+  hosts[3]->nic(0).set_promiscuous(true);
+  hosts[3]->nic(0).add_tap([&](const Frame&) { ++tapped; });
+  hosts[1]->udp().bind(7000, nullptr);
+  auto& sock = hosts[0]->udp().bind(0, nullptr);
+  for (int i = 0; i < 10; ++i) {
+    sock.send_to(IpAddr(192, 168, 0, 2), 7000, 100, nullptr,
+                 TrafficClass::kApplication);
+  }
+  sim.run();
+  EXPECT_EQ(tapped, 10u);
+}
+
+TEST_F(SharedFixture, ContentionCausesCollisionsButDeliversAll) {
+  int received = 0;
+  hosts[3]->udp().bind(7000, [&](const Packet&) { ++received; });
+  const int kPerSender = 20;
+  for (int s = 0; s < 3; ++s) {
+    auto& sock = hosts[s]->udp().bind(0, nullptr);
+    for (int i = 0; i < kPerSender; ++i) {
+      // All enqueue at t=0: guaranteed contention.
+      sock.send_to(IpAddr(192, 168, 0, 4), 7000, 400, nullptr,
+                   TrafficClass::kApplication);
+    }
+  }
+  sim.run();
+  EXPECT_GT(segment->stats().collisions, 0u);
+  // Queues are deep enough (64) that everything eventually transmits.
+  EXPECT_EQ(received, 3 * kPerSender);
+}
+
+TEST_F(SharedFixture, ByteConservationOnSegment) {
+  hosts[1]->udp().bind(7000, nullptr);
+  auto& sock = hosts[0]->udp().bind(0, nullptr);
+  for (int i = 0; i < 25; ++i) {
+    sock.send_to(IpAddr(192, 168, 0, 2), 7000, 512, nullptr,
+                 TrafficClass::kApplication);
+  }
+  sim.run();
+  const auto& out = hosts[0]->nic(0).counters();
+  EXPECT_EQ(segment->stats().octets_carried, out.out_octets);
+  EXPECT_EQ(hosts[1]->nic(0).counters().in_octets, out.out_octets);
+}
+
+TEST_F(SharedFixture, UtilizationReflectsLoad) {
+  hosts[1]->udp().bind(7000, nullptr);
+  apps::CbrTraffic::Config cfg;
+  cfg.rate_bps = 5e6;  // half the segment
+  cfg.packet_bytes = 1000;
+  cfg.dst_port = 7000;
+  apps::CbrTraffic cbr(*hosts[0], IpAddr(192, 168, 0, 2), cfg);
+  cbr.start();
+  sim.run_for(Duration::sec(2));
+  cbr.stop();
+  const double u = segment->utilization(sim.now());
+  EXPECT_GT(u, 0.40);
+  EXPECT_LT(u, 0.70);
+}
+
+TEST_F(SharedFixture, SaturationDropsFromFiniteQueues) {
+  hosts[1]->udp().bind(7000, nullptr);
+  apps::CbrTraffic::Config cfg;
+  cfg.rate_bps = 20e6;  // 2x the segment capacity
+  cfg.packet_bytes = 1000;
+  cfg.dst_port = 7000;
+  apps::CbrTraffic cbr(*hosts[0], IpAddr(192, 168, 0, 2), cfg);
+  cbr.start();
+  sim.run_for(Duration::sec(1));
+  cbr.stop();
+  sim.run();
+  EXPECT_GT(hosts[0]->nic(0).counters().out_drops, 0u);
+}
+
+// --- switch ---------------------------------------------------------------
+
+class SwitchFixture : public ::testing::Test {
+ protected:
+  SwitchFixture() : network(sim, util::Rng(5)) {
+    sw = &network.add_switch("sw");
+    for (int i = 0; i < 3; ++i) {
+      auto& host = network.add_host("h" + std::to_string(i));
+      network.attach(host, *sw, IpAddr(10, 0, 0, std::uint8_t(i + 1)), 24,
+                     100e6, Duration::us(1));
+      hosts.push_back(&host);
+    }
+    network.auto_route();
+  }
+  sim::Simulator sim;
+  Network network;
+  Switch* sw;
+  std::vector<net::Host*> hosts;
+};
+
+TEST_F(SwitchFixture, PrimedTablesForwardWithoutFlooding) {
+  // auto_route() statically provisions the MAC table from the topology:
+  // even the very first unicast is forwarded, never flooded.
+  EXPECT_EQ(sw->mac_table_size(), 3u);
+  int received = 0;
+  hosts[1]->udp().bind(7000, [&](const Packet&) { ++received; });
+  auto& sock = hosts[0]->udp().bind(0, nullptr);
+  sock.send_to(IpAddr(10, 0, 0, 2), 7000, 100, nullptr,
+               TrafficClass::kApplication);
+  sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(sw->frames_flooded(), 0u);
+  EXPECT_GE(sw->frames_forwarded(), 1u);
+}
+
+TEST(SwitchLearning, ColdTableFloodsThenLearns) {
+  // Without auto_route (no provisioning) the switch behaves classically:
+  // unknown unicast floods, the reply is forwarded on the learned port.
+  sim::Simulator sim;
+  Network network(sim, util::Rng(6));
+  auto& sw = network.add_switch("sw");
+  auto& h0 = network.add_host("h0");
+  auto& h1 = network.add_host("h1");
+  Nic& n0 = network.attach(h0, sw, IpAddr(10, 0, 0, 1), 24, 100e6);
+  Nic& n1 = network.attach(h1, sw, IpAddr(10, 0, 0, 2), 24, 100e6);
+  // Hand-written direct routes instead of auto_route.
+  h0.routing().add(Prefix(IpAddr(10, 0, 0, 0), 24), IpAddr{}, &n0);
+  h1.routing().add(Prefix(IpAddr(10, 0, 0, 0), 24), IpAddr{}, &n1);
+
+  h1.udp().bind(7000, nullptr);
+  h0.udp().bind(7001, nullptr);
+  auto& s0 = h0.udp().bind(0, nullptr);
+  auto& s1 = h1.udp().bind(0, nullptr);
+  s0.send_to(IpAddr(10, 0, 0, 2), 7000, 100, nullptr,
+             TrafficClass::kApplication);
+  sim.run();
+  EXPECT_EQ(sw.frames_flooded(), 1u);
+  // Reply: h0's MAC was learned from the first frame.
+  s1.send_to(IpAddr(10, 0, 0, 1), 7001, 100, nullptr,
+             TrafficClass::kApplication);
+  sim.run();
+  EXPECT_EQ(sw.frames_flooded(), 1u);
+  EXPECT_EQ(sw.frames_forwarded(), 1u);
+}
+
+TEST_F(SwitchFixture, ThirdPartyCannotSniffSwitchedUnicast) {
+  // The paper's point: on switched media passive probes see (almost)
+  // nothing. After MACs are learned, host2 sees none of host0<->host1.
+  std::uint64_t tapped = 0;
+  hosts[2]->nic(0).set_promiscuous(true);
+  hosts[1]->udp().bind(7000, nullptr);
+  hosts[0]->udp().bind(7001, nullptr);
+  auto& s0 = hosts[0]->udp().bind(0, nullptr);
+  auto& s1 = hosts[1]->udp().bind(0, nullptr);
+  // Learn both directions first.
+  s0.send_to(IpAddr(10, 0, 0, 2), 7000, 64, nullptr, TrafficClass::kOther);
+  s1.send_to(IpAddr(10, 0, 0, 1), 7001, 64, nullptr, TrafficClass::kOther);
+  sim.run();
+  hosts[2]->nic(0).add_tap([&](const Frame&) { ++tapped; });
+  for (int i = 0; i < 20; ++i) {
+    s0.send_to(IpAddr(10, 0, 0, 2), 7000, 100, nullptr,
+               TrafficClass::kApplication);
+  }
+  sim.run();
+  EXPECT_EQ(tapped, 0u);
+}
+
+// --- routed topology -------------------------------------------------------
+
+TEST(RoutedTopology, PacketsCrossRouters) {
+  sim::Simulator sim;
+  Network network(sim, util::Rng(7));
+  auto& h1 = network.add_host("h1");
+  auto& r1 = network.add_router("r1");
+  auto& r2 = network.add_router("r2");
+  auto& h2 = network.add_host("h2");
+  network.connect(h1, IpAddr(10, 1, 0, 1), r1, IpAddr(10, 1, 0, 2), 24, 10e6);
+  network.connect(r1, IpAddr(10, 2, 0, 1), r2, IpAddr(10, 2, 0, 2), 24, 10e6);
+  network.connect(r2, IpAddr(10, 3, 0, 1), h2, IpAddr(10, 3, 0, 2), 24, 10e6);
+  network.auto_route();
+
+  int received = 0;
+  std::uint8_t ttl_seen = 0;
+  h2.udp().bind(7000, [&](const Packet& p) {
+    ++received;
+    ttl_seen = p.ttl;
+  });
+  auto& sock = h1.udp().bind(0, nullptr);
+  sock.send_to(IpAddr(10, 3, 0, 2), 7000, 100, nullptr,
+               TrafficClass::kApplication);
+  sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(ttl_seen, 62);  // two router hops decrement TTL twice
+  EXPECT_EQ(r1.counters().ip_forwarded, 1u);
+  EXPECT_EQ(r2.counters().ip_forwarded, 1u);
+}
+
+TEST(RoutedTopology, TtlExpiryDropsPacket) {
+  sim::Simulator sim;
+  Network network(sim, util::Rng(7));
+  auto& h1 = network.add_host("h1");
+  auto& r1 = network.add_router("r1");
+  auto& h2 = network.add_host("h2");
+  network.connect(h1, IpAddr(10, 1, 0, 1), r1, IpAddr(10, 1, 0, 2), 24, 10e6);
+  network.connect(r1, IpAddr(10, 2, 0, 1), h2, IpAddr(10, 2, 0, 2), 24, 10e6);
+  network.auto_route();
+  int received = 0;
+  h2.udp().bind(7000, [&](const Packet&) { ++received; });
+  Packet p;
+  p.dst = IpAddr(10, 2, 0, 2);
+  p.dst_port = 7000;
+  p.payload_bytes = 10;
+  p.ttl = 1;
+  h1.send_packet(std::move(p));
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(r1.counters().ip_ttl_exceeded, 1u);
+}
+
+TEST(RoutedTopology, AsymmetricRoutesCanBreakOneDirection) {
+  // Two disjoint router paths; h1 reaches h2 via rA, and h2's reverse route
+  // is forced via rB whose link we cut: forward works, reverse does not —
+  // the paper's argument against sniffing-based reachability (§4.3).
+  sim::Simulator sim;
+  Network network(sim, util::Rng(9));
+  auto& h1 = network.add_host("h1");
+  auto& h2 = network.add_host("h2");
+  auto& ra = network.add_router("ra");
+  auto& rb = network.add_router("rb");
+  network.connect(h1, IpAddr(10, 1, 0, 1), ra, IpAddr(10, 1, 0, 2), 24, 10e6);
+  network.connect(ra, IpAddr(10, 2, 0, 1), h2, IpAddr(10, 2, 0, 2), 24, 10e6);
+  auto [h1b, rb1] = network.connect(h1, IpAddr(10, 3, 0, 1), rb,
+                                    IpAddr(10, 3, 0, 2), 24, 10e6);
+  (void)h1b;
+  auto [rb2, h2b] = network.connect(rb, IpAddr(10, 4, 0, 1), h2,
+                                    IpAddr(10, 4, 0, 2), 24, 10e6);
+  (void)rb2;
+  network.auto_route();
+  // Force h2 -> h1 over rb.
+  h2.routing().add(Prefix(IpAddr(10, 1, 0, 1), 32), IpAddr(10, 4, 0, 1), h2b);
+  // Break the rb path.
+  rb.set_up(false);
+
+  int fwd = 0, rev = 0;
+  h2.udp().bind(7000, [&](const Packet&) { ++fwd; });
+  h1.udp().bind(7000, [&](const Packet&) { ++rev; });
+  auto& s1 = h1.udp().bind(0, nullptr);
+  auto& s2 = h2.udp().bind(0, nullptr);
+  s1.send_to(IpAddr(10, 2, 0, 2), 7000, 50, nullptr, TrafficClass::kOther);
+  s2.send_to(IpAddr(10, 1, 0, 1), 7000, 50, nullptr, TrafficClass::kOther);
+  sim.run();
+  EXPECT_EQ(fwd, 1);  // h1 -> h2 via ra still works
+  EXPECT_EQ(rev, 0);  // h2 -> h1 forced through dead rb
+}
+
+TEST(Topology, DuplicateIpRejected) {
+  sim::Simulator sim;
+  Network network(sim, util::Rng(1));
+  auto& seg = network.add_segment("lan", 10e6);
+  auto& h1 = network.add_host("h1");
+  auto& h2 = network.add_host("h2");
+  network.attach(h1, seg, IpAddr(10, 0, 0, 1), 24);
+  EXPECT_THROW(network.attach(h2, seg, IpAddr(10, 0, 0, 1), 24),
+               std::logic_error);
+}
+
+TEST(Topology, FindHelpers) {
+  sim::Simulator sim;
+  Network network(sim, util::Rng(1));
+  auto& seg = network.add_segment("lan", 10e6);
+  auto& h1 = network.add_host("alpha");
+  network.attach(h1, seg, IpAddr(10, 0, 0, 1), 24);
+  EXPECT_EQ(network.find_host("alpha"), &h1);
+  EXPECT_EQ(network.find_host("beta"), nullptr);
+  EXPECT_EQ(network.host_of(IpAddr(10, 0, 0, 1)), &h1);
+  EXPECT_EQ(network.host_of(IpAddr(10, 0, 0, 99)), nullptr);
+  EXPECT_TRUE(network.mac_of(IpAddr(10, 0, 0, 1)).has_value());
+  EXPECT_FALSE(network.mac_of(IpAddr(10, 0, 0, 99)).has_value());
+}
+
+TEST(Udp, EphemeralPortsUniqueAndRebindRejected) {
+  sim::Simulator sim;
+  Network network(sim, util::Rng(1));
+  auto& seg = network.add_segment("lan", 10e6);
+  auto& h = network.add_host("h");
+  network.attach(h, seg, IpAddr(10, 0, 0, 1), 24);
+  auto& s1 = h.udp().bind(0, nullptr);
+  auto& s2 = h.udp().bind(0, nullptr);
+  EXPECT_NE(s1.port(), s2.port());
+  EXPECT_THROW(h.udp().bind(s1.port(), nullptr), std::logic_error);
+  s1.close();
+  EXPECT_NO_THROW(h.udp().bind(49152, nullptr));
+}
+
+TEST(Udp, NoPortCounterIncrements) {
+  sim::Simulator sim;
+  Network network(sim, util::Rng(1));
+  auto& seg = network.add_segment("lan", 10e6);
+  auto& h1 = network.add_host("h1");
+  auto& h2 = network.add_host("h2");
+  network.attach(h1, seg, IpAddr(10, 0, 0, 1), 24);
+  network.attach(h2, seg, IpAddr(10, 0, 0, 2), 24);
+  network.auto_route();
+  auto& sock = h1.udp().bind(0, nullptr);
+  sock.send_to(IpAddr(10, 0, 0, 2), 9999, 10, nullptr, TrafficClass::kOther);
+  sim.run();
+  EXPECT_EQ(h2.udp().counters().no_ports, 1u);
+}
+
+}  // namespace
+}  // namespace netmon::net

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hpp"
+#include "apps/traffic.hpp"
+#include "rmon/probe.hpp"
+#include "snmp/manager.hpp"
+
+namespace netmon::rmon {
+namespace {
+
+using sim::Duration;
+
+class ProbeFixture : public ::testing::Test {
+ protected:
+  ProbeFixture() {
+    apps::SharedLanOptions options;
+    options.hosts = 3;
+    options.clocks.granularity = Duration::ms(10);  // COTS-grade probe clock
+    bed = std::make_unique<apps::SharedLanTestbed>(sim, options);
+    probe = std::make_unique<Probe>(bed->probe_host(), bed->segment());
+  }
+
+  void blast(int packets, std::uint32_t bytes = 400) {
+    if (blast_socket_ == nullptr) {
+      blast_socket_ = &bed->host(0).udp().bind(0, nullptr);
+      bed->host(1).udp().bind(7000, nullptr);
+    }
+    auto& sock = *blast_socket_;
+    for (int i = 0; i < packets; ++i) {
+      sock.send_to(bed->host_ip(1), 7000, bytes, nullptr,
+                   net::TrafficClass::kApplication);
+    }
+    // The probe keeps periodic tasks alive; a bounded run drains the blast.
+    sim.run_for(sim::Duration::sec(2));
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<apps::SharedLanTestbed> bed;
+  std::unique_ptr<Probe> probe;
+  net::UdpSocket* blast_socket_ = nullptr;
+};
+
+TEST_F(ProbeFixture, CountsAllSegmentTraffic) {
+  blast(25);
+  // 25 data frames, plus their delivery is all the probe sees (no ACKs on
+  // UDP). RMON counts frames promiscuously.
+  EXPECT_GE(probe->ether_stats().packets, 25u);
+  EXPECT_GT(probe->ether_stats().octets, 25u * 400u);
+}
+
+TEST_F(ProbeFixture, SizeHistogramBucketsCorrectly) {
+  blast(5, 400);   // 400+28+18 = 446 -> 256..511 bucket
+  blast(5, 1400);  // 1446 -> 1024..1518 bucket
+  EXPECT_GE(probe->ether_stats().pkts_256_511, 5u);
+  EXPECT_GE(probe->ether_stats().pkts_1024_1518, 5u);
+}
+
+TEST_F(ProbeFixture, TracksFramesBySourceMac) {
+  blast(10);
+  const auto src_mac = bed->host(0).nic(0).mac();
+  EXPECT_EQ(probe->frames_seen_from(src_mac), 10u);
+  EXPECT_EQ(probe->frames_seen_from(net::MacAddr(0x1234)), 0u);
+}
+
+TEST_F(ProbeFixture, UtilizationWindowTracksLoad) {
+  bed->host(1).udp().bind(7001, nullptr);
+  apps::CbrTraffic::Config cfg;
+  cfg.rate_bps = 4e6;
+  cfg.packet_bytes = 1000;
+  cfg.dst_port = 7001;
+  apps::CbrTraffic cbr(bed->host(0), bed->host_ip(1), cfg);
+  cbr.start();
+  sim.run_for(Duration::sec(3));
+  cbr.stop();
+  EXPECT_GT(probe->windowed_utilization(), 0.30);
+  EXPECT_LT(probe->windowed_utilization(), 0.60);
+}
+
+TEST_F(ProbeFixture, StatsExposedThroughSnmpAgent) {
+  blast(10);
+  snmp::Manager manager(bed->station());
+  snmp::SnmpResult result;
+  manager.get(bed->probe_host().primary_ip(),
+              {rmon_mib::kEtherStatsPkts, rmon_mib::kEtherStatsOctets},
+              [&](const snmp::SnmpResult& r) { result = r; });
+  // Bounded run: the probe's periodic sampling keeps the event queue alive.
+  sim.run_for(Duration::sec(2));
+  ASSERT_TRUE(result.ok);
+  EXPECT_GE(result.varbinds[0].value.to_uint64(), 10u);
+}
+
+TEST_F(ProbeFixture, HistoryBucketsRollAtInterval) {
+  auto& history = probe->add_history(Duration::ms(500), 4);
+  bed->host(1).udp().bind(7001, nullptr);
+  apps::CbrTraffic::Config cfg;
+  cfg.rate_bps = 2e6;
+  cfg.packet_bytes = 500;
+  cfg.dst_port = 7001;
+  apps::CbrTraffic cbr(bed->host(0), bed->host_ip(1), cfg);
+  cbr.start();
+  sim.run_for(Duration::sec(3));
+  cbr.stop();
+  EXPECT_EQ(history.intervals_completed(), 6u);
+  EXPECT_EQ(history.buckets().size(), 4u);  // ring keeps only 4
+  const auto& bucket = history.buckets().newest();
+  EXPECT_GT(bucket.packets, 0u);
+  EXPECT_NEAR(bucket.utilization, 0.22, 0.12);  // ~2.2 Mb/s on 10 Mb/s wire
+}
+
+TEST_F(ProbeFixture, HistoryTimestampsUseGranularClock) {
+  auto& history = probe->add_history(Duration::ms(500), 8);
+  sim.run_for(Duration::sec(2));
+  for (std::size_t i = 0; i < history.buckets().size(); ++i) {
+    // 10 ms probe clock: all bucket timestamps are multiples of 10 ms.
+    EXPECT_EQ(history.buckets()[i].start_local.nanos() % 10'000'000, 0);
+  }
+}
+
+TEST_F(ProbeFixture, ProbeRequiresAttachment) {
+  apps::SharedLanOptions options;
+  options.hosts = 1;
+  options.add_probe_host = false;
+  sim::Simulator other_sim;
+  apps::SharedLanTestbed other(other_sim, options);
+  // Host 0 of `other` is not on *our* segment.
+  EXPECT_THROW(Probe(other.host(0), bed->segment()), std::invalid_argument);
+}
+
+// --- alarms -----------------------------------------------------------------
+
+TEST(Alarm, RisingAndFallingWithHysteresis) {
+  sim::Simulator sim;
+  double value = 0.0;
+  std::vector<AlarmDirection> events;
+  AlarmConfig cfg;
+  cfg.sample = [&] { return value; };
+  cfg.sample_type = SampleType::kAbsolute;
+  cfg.interval = Duration::ms(100);
+  cfg.rising_threshold = 10.0;
+  cfg.falling_threshold = 5.0;
+  Alarm alarm(sim, 1, cfg, [&](const AlarmCrossing& c) {
+    events.push_back(c.direction);
+  });
+
+  // Drive the value through: up, stay up (no repeat), down, up again.
+  sim.schedule_in(Duration::ms(150), [&] { value = 12.0; });
+  sim.schedule_in(Duration::ms(350), [&] { value = 15.0; });  // still high
+  sim.schedule_in(Duration::ms(550), [&] { value = 3.0; });
+  sim.schedule_in(Duration::ms(750), [&] { value = 20.0; });
+  sim.run_for(Duration::sec(1));
+  alarm.stop();
+
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], AlarmDirection::kRising);
+  EXPECT_EQ(events[1], AlarmDirection::kFalling);
+  EXPECT_EQ(events[2], AlarmDirection::kRising);
+  EXPECT_EQ(alarm.rising_events(), 2u);
+  EXPECT_EQ(alarm.falling_events(), 1u);
+}
+
+TEST(Alarm, EventsAlternateUnderNoise) {
+  // Property: rising and falling events strictly alternate no matter how
+  // the sampled variable jitters (RMON hysteresis invariant).
+  sim::Simulator sim;
+  util::Rng rng(77);
+  double value = 0.0;
+  std::vector<AlarmDirection> events;
+  AlarmConfig cfg;
+  cfg.sample = [&] { return value; };
+  cfg.sample_type = SampleType::kAbsolute;
+  cfg.interval = Duration::ms(10);
+  cfg.rising_threshold = 6.0;
+  cfg.falling_threshold = 4.0;
+  Alarm alarm(sim, 1, cfg, [&](const AlarmCrossing& c) {
+    events.push_back(c.direction);
+  });
+  for (int i = 0; i < 500; ++i) {
+    sim.schedule_in(Duration::ms(10 * i + 5),
+                    [&value, &rng] { value = rng.uniform(0.0, 10.0); });
+  }
+  sim.run_for(Duration::sec(6));
+  alarm.stop();
+  ASSERT_GT(events.size(), 4u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_NE(events[i], events[i - 1]) << "at event " << i;
+  }
+}
+
+TEST(Alarm, DeltaSamplingNeedsTwoSamples) {
+  sim::Simulator sim;
+  double counter = 0.0;
+  int fired = 0;
+  AlarmConfig cfg;
+  cfg.sample = [&] { return counter; };
+  cfg.sample_type = SampleType::kDelta;
+  cfg.interval = Duration::ms(100);
+  cfg.rising_threshold = 50.0;
+  cfg.falling_threshold = 10.0;
+  Alarm alarm(sim, 1, cfg, [&](const AlarmCrossing&) { ++fired; });
+  // Counter grows by 100 every interval: delta = 100 >= 50 from the second
+  // sample onwards, but hysteresis allows only one rising event.
+  sim.schedule_periodic(Duration::ms(100), [&] { counter += 100.0; });
+  sim.run_for(Duration::sec(1));
+  alarm.stop();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Alarm, InvalidConfigRejected) {
+  sim::Simulator sim;
+  AlarmConfig no_sampler;
+  no_sampler.rising_threshold = 1.0;
+  EXPECT_THROW(Alarm(sim, 1, no_sampler, nullptr), std::invalid_argument);
+  AlarmConfig inverted;
+  inverted.sample = [] { return 0.0; };
+  inverted.rising_threshold = 1.0;
+  inverted.falling_threshold = 2.0;
+  EXPECT_THROW(Alarm(sim, 1, inverted, nullptr), std::invalid_argument);
+}
+
+TEST_F(ProbeFixture, UtilizationAlarmSendsTrapToStation) {
+  snmp::Manager manager(bed->station());
+  std::vector<snmp::TrapEvent> traps;
+  manager.set_trap_handler(
+      [&](const snmp::TrapEvent& t) { traps.push_back(t); });
+
+  AlarmConfig cfg;
+  cfg.sample = probe->sample_utilization();
+  cfg.sample_type = SampleType::kAbsolute;
+  cfg.interval = Duration::ms(500);
+  cfg.rising_threshold = 0.2;
+  cfg.falling_threshold = 0.05;
+  probe->add_alarm(cfg, bed->station().primary_ip());
+
+  bed->host(1).udp().bind(7001, nullptr);
+  apps::CbrTraffic::Config traffic;
+  traffic.rate_bps = 5e6;
+  traffic.packet_bytes = 1000;
+  traffic.dst_port = 7001;
+  apps::CbrTraffic cbr(bed->host(0), bed->host_ip(1), traffic);
+  cbr.start();
+  sim.run_for(Duration::sec(3));
+  cbr.stop();
+  sim.run_for(Duration::sec(3));  // quiesce -> falling trap
+
+  ASSERT_GE(traps.size(), 2u);
+  EXPECT_EQ(traps.front().trap_oid, rmon_mib::kRisingAlarmTrap);
+  EXPECT_EQ(traps.back().trap_oid, rmon_mib::kFallingAlarmTrap);
+}
+
+// --- filter/capture groups ---------------------------------------------------
+
+TEST(PacketFilter, ConjunctiveMatching) {
+  net::Packet p;
+  p.src = net::IpAddr(10, 0, 0, 1);
+  p.dst = net::IpAddr(10, 0, 0, 2);
+  p.protocol = net::IpProto::kUdp;
+  p.dst_port = 7000;
+  p.payload_bytes = 100;
+  p.traffic_class = net::TrafficClass::kApplication;
+  const net::Frame frame{net::MacAddr(1), net::MacAddr(2), p};
+
+  PacketFilter any;
+  EXPECT_TRUE(any.matches(frame));
+  EXPECT_EQ(any.describe(), "any");
+
+  PacketFilter exact;
+  exact.src = net::IpAddr(10, 0, 0, 1);
+  exact.dst_port = 7000;
+  exact.protocol = net::IpProto::kUdp;
+  EXPECT_TRUE(exact.matches(frame));
+  exact.dst_port = 7001;
+  EXPECT_FALSE(exact.matches(frame));
+
+  PacketFilter size;
+  size.min_size_bytes = 100;
+  size.max_size_bytes = 200;
+  EXPECT_TRUE(size.matches(frame));  // 100+28+18=146
+  size.max_size_bytes = 120;
+  EXPECT_FALSE(size.matches(frame));
+}
+
+TEST_F(ProbeFixture, CaptureChannelCollectsMatchingFrames) {
+  PacketFilter filter;
+  filter.dst = bed->host_ip(1);
+  auto& channel = probe->add_capture(filter, 16);
+  channel.start();
+  blast(10);
+  EXPECT_EQ(channel.accepted(), 10u);
+  EXPECT_EQ(channel.buffer().size(), 10u);
+  const auto& rec = channel.buffer().newest();
+  EXPECT_EQ(rec.dst_ip, bed->host_ip(1));
+  EXPECT_EQ(rec.src_mac, bed->host(0).nic(0).mac());
+}
+
+TEST_F(ProbeFixture, CaptureStopsWhenFull) {
+  auto& channel = probe->add_capture(PacketFilter{}, 4, /*stop_when_full=*/true);
+  channel.start();
+  blast(10);
+  EXPECT_EQ(channel.state(), CaptureChannel::State::kFull);
+  EXPECT_EQ(channel.buffer().size(), 4u);
+  EXPECT_GT(channel.dropped_full(), 0u);
+  channel.clear();
+  EXPECT_EQ(channel.state(), CaptureChannel::State::kIdle);
+}
+
+TEST_F(ProbeFixture, CaptureWrapsWhenConfigured) {
+  auto& channel =
+      probe->add_capture(PacketFilter{}, 4, /*stop_when_full=*/false);
+  channel.start();
+  blast(10);
+  EXPECT_EQ(channel.buffer().size(), 4u);
+  EXPECT_EQ(channel.accepted(), 10u);
+  EXPECT_EQ(channel.state(), CaptureChannel::State::kCapturing);
+}
+
+TEST_F(ProbeFixture, ArmedChannelWaitsForTrigger) {
+  auto& channel = probe->add_capture(PacketFilter{}, 16);
+  channel.arm();
+  blast(5);
+  EXPECT_EQ(channel.accepted(), 0u);  // armed, not yet triggered
+  EXPECT_GT(channel.matched(), 0u);
+  channel.trigger();
+  blast(5);
+  EXPECT_EQ(channel.accepted(), 5u);
+}
+
+TEST_F(ProbeFixture, CaptureDownloadCostsManagementBytes) {
+  auto& channel = probe->add_capture(PacketFilter{}, 128);
+  channel.start();
+  blast(50);
+  const auto before = bed->network().octets_by_class()[
+      static_cast<std::size_t>(net::TrafficClass::kManagement)];
+  std::size_t downloaded = 0;
+  probe->download_capture(channel, bed->station().primary_ip(),
+                          [&](std::size_t n) { downloaded = n; });
+  sim.run_for(Duration::sec(1));
+  const auto after = bed->network().octets_by_class()[
+      static_cast<std::size_t>(net::TrafficClass::kManagement)];
+  EXPECT_EQ(downloaded, channel.buffer().size());
+  EXPECT_GT(after, before + downloaded * 40);
+}
+
+}  // namespace
+}  // namespace netmon::rmon

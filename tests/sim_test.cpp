@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace netmon::sim {
+namespace {
+
+TEST(Duration, ArithmeticAndConversions) {
+  const auto d = Duration::ms(30);
+  EXPECT_EQ(d.nanos(), 30'000'000);
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 0.030);
+  EXPECT_DOUBLE_EQ(d.to_millis(), 30.0);
+  EXPECT_EQ((d + Duration::ms(10)).nanos(), 40'000'000);
+  EXPECT_EQ((d - Duration::ms(40)).nanos(), -10'000'000);
+  EXPECT_TRUE((d - Duration::ms(40)).is_negative());
+  EXPECT_EQ((d * 3).nanos(), 90'000'000);
+  EXPECT_DOUBLE_EQ(Duration::sec(1) / Duration::ms(250), 4.0);
+}
+
+TEST(Duration, ToStringPicksUnit) {
+  EXPECT_EQ(Duration::sec(2).to_string(), "2s");
+  EXPECT_EQ(Duration::ms(5).to_string(), "5ms");
+  EXPECT_EQ(Duration::us(7).to_string(), "7us");
+  EXPECT_EQ(Duration::ns(3).to_string(), "3ns");
+}
+
+TEST(TimePoint, Arithmetic) {
+  const auto t = TimePoint::from_nanos(1'000'000'000);
+  EXPECT_EQ((t + Duration::sec(1)).nanos(), 2'000'000'000);
+  EXPECT_EQ((t - TimePoint::from_nanos(250'000'000)).nanos(), 750'000'000);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(Duration::ms(20), [&] { order.push_back(2); });
+  sim.schedule_in(Duration::ms(10), [&] { order.push_back(1); });
+  sim.schedule_in(Duration::ms(30), [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().nanos(), Duration::ms(30).nanos());
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_in(Duration::ms(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, TimeNeverDecreasesAcrossNestedScheduling) {
+  Simulator sim;
+  TimePoint last{};
+  bool monotone = true;
+  std::function<void(int)> recurse = [&](int depth) {
+    if (sim.now() < last) monotone = false;
+    last = sim.now();
+    if (depth > 0) {
+      sim.schedule_in(Duration::us(depth),
+                      [&recurse, depth] { recurse(depth - 1); });
+    }
+  };
+  recurse(50);
+  sim.run();
+  EXPECT_TRUE(monotone);
+}
+
+TEST(Simulator, SchedulePastThrows) {
+  Simulator sim;
+  sim.schedule_in(Duration::ms(5), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint::from_nanos(0), [] {}),
+               std::logic_error);
+  EXPECT_THROW(sim.schedule_in(Duration::ms(-1), [] {}), std::logic_error);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  auto handle = sim.schedule_in(Duration::ms(1), [&] { ++fired; });
+  handle.cancel();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(Duration::ms(10), [&] { ++fired; });
+  sim.schedule_in(Duration::ms(30), [&] { ++fired; });
+  sim.run_until(TimePoint::from_nanos(Duration::ms(20).nanos()));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().nanos(), Duration::ms(20).nanos());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StopAbortsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(Duration::ms(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_in(Duration::ms(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes with remaining events
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PeriodicFiresAtFixedIntervals) {
+  Simulator sim;
+  std::vector<std::int64_t> times;
+  auto handle = sim.schedule_periodic(Duration::ms(10), [&] {
+    times.push_back(sim.now().nanos());
+    if (times.size() == 3) sim.stop();
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[0], Duration::ms(10).nanos());
+  EXPECT_EQ(times[1], Duration::ms(20).nanos());
+  EXPECT_EQ(times[2], Duration::ms(30).nanos());
+  handle.cancel();
+}
+
+TEST(Simulator, PeriodicCancelStopsChain) {
+  Simulator sim;
+  int fired = 0;
+  auto handle = sim.schedule_periodic(Duration::ms(1), [&] { ++fired; });
+  sim.schedule_in(Duration::ms(5) + Duration::us(500),
+                  [&] { handle.cancel(); });
+  sim.run_for(Duration::ms(50));
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(Simulator, PeriodicZeroPeriodRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_periodic(Duration::ns(0), [] {}),
+               std::logic_error);
+}
+
+TEST(PeriodicTask, CancelsOnDestruction) {
+  Simulator sim;
+  int fired = 0;
+  {
+    PeriodicTask task(sim, Duration::ms(1), [&] { ++fired; });
+    sim.run_for(Duration::ms(3));
+  }
+  sim.run_for(Duration::ms(10));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTask, MoveTransfersOwnership) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask outer;
+  {
+    PeriodicTask inner(sim, Duration::ms(1), [&] { ++fired; });
+    outer = std::move(inner);
+  }  // inner destroyed; task must survive
+  sim.run_for(Duration::ms(3));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, EventLimitBoundsExecution) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    sim.schedule_in(Duration::ms(1), chain);
+  };
+  sim.schedule_in(Duration::ms(1), chain);
+  sim.run(10);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, DeterministicReplay) {
+  auto run_once = [] {
+    Simulator sim;
+    std::vector<std::int64_t> trace;
+    for (int i = 0; i < 20; ++i) {
+      sim.schedule_in(Duration::us(100 * ((i * 7) % 5 + 1)),
+                      [&trace, &sim] { trace.push_back(sim.now().nanos()); });
+    }
+    sim.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace netmon::sim

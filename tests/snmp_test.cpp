@@ -1,0 +1,567 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/traffic.hpp"
+#include "net/topology.hpp"
+#include "snmp/agent.hpp"
+#include "snmp/ber.hpp"
+#include "snmp/manager.hpp"
+#include "snmp/mib2.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::snmp {
+namespace {
+
+using sim::Duration;
+
+TEST(Oid, ParseFormatRoundTrip) {
+  const auto oid = Oid::parse("1.3.6.1.2.1.1.1.0");
+  EXPECT_EQ(oid.to_string(), "1.3.6.1.2.1.1.1.0");
+  EXPECT_EQ(oid.size(), 9u);
+  EXPECT_THROW(Oid::parse(""), std::invalid_argument);
+  EXPECT_THROW(Oid::parse("1..2"), std::invalid_argument);
+  EXPECT_THROW(Oid::parse("1.x.2"), std::invalid_argument);
+}
+
+TEST(Oid, LexicographicOrdering) {
+  EXPECT_LT(Oid({1, 3, 6}), Oid({1, 3, 6, 1}));
+  EXPECT_LT(Oid({1, 3, 6, 1}), Oid({1, 3, 7}));
+  EXPECT_LT(Oid({1, 3}), Oid({2}));
+}
+
+TEST(Oid, PrefixOperations) {
+  const Oid base{1, 3, 6, 1};
+  EXPECT_TRUE(base.with({2, 1}).starts_with(base));
+  EXPECT_FALSE(base.starts_with(base.with(9)));
+  EXPECT_EQ(base.with({2, 1}).suffix_after(base), Oid({2, 1}));
+  EXPECT_THROW(Oid({1, 2}).suffix_after(Oid({9})), std::invalid_argument);
+}
+
+// --- BER round-trip properties ---------------------------------------------
+
+SnmpValue roundtrip(const SnmpValue& value) {
+  BerWriter w;
+  w.write_value(value);
+  BerReader r(w.bytes());
+  return r.read_value();
+}
+
+TEST(Ber, ValueRoundTripsAllTypes) {
+  EXPECT_EQ(roundtrip(SnmpValue(Null{})), SnmpValue(Null{}));
+  EXPECT_EQ(roundtrip(SnmpValue(std::int64_t(0))), SnmpValue(std::int64_t(0)));
+  EXPECT_EQ(roundtrip(SnmpValue(std::int64_t(-1))),
+            SnmpValue(std::int64_t(-1)));
+  EXPECT_EQ(roundtrip(SnmpValue(std::string("hello"))),
+            SnmpValue(std::string("hello")));
+  EXPECT_EQ(roundtrip(SnmpValue(Oid{1, 3, 6, 1, 4, 1, 99999, 1})),
+            SnmpValue(Oid{1, 3, 6, 1, 4, 1, 99999, 1}));
+  EXPECT_EQ(roundtrip(SnmpValue(net::IpAddr(192, 168, 1, 250))),
+            SnmpValue(net::IpAddr(192, 168, 1, 250)));
+  EXPECT_EQ(roundtrip(SnmpValue(Counter32{0xFFFFFFFFu})),
+            SnmpValue(Counter32{0xFFFFFFFFu}));
+  EXPECT_EQ(roundtrip(SnmpValue(Gauge32{42})), SnmpValue(Gauge32{42}));
+  EXPECT_EQ(roundtrip(SnmpValue(TimeTicks{123456})),
+            SnmpValue(TimeTicks{123456}));
+  EXPECT_EQ(roundtrip(SnmpValue(Counter64{0xDEADBEEFCAFEull})),
+            SnmpValue(Counter64{0xDEADBEEFCAFEull}));
+  EXPECT_EQ(roundtrip(SnmpValue(EndOfMibView{})), SnmpValue(EndOfMibView{}));
+  EXPECT_EQ(roundtrip(SnmpValue(NoSuchObject{})), SnmpValue(NoSuchObject{}));
+}
+
+// Property sweep: integers across the full signed range round-trip.
+class BerIntegerProperty : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BerIntegerProperty, RoundTrips) {
+  const SnmpValue v(GetParam());
+  EXPECT_EQ(roundtrip(v), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, BerIntegerProperty,
+    ::testing::Values(std::int64_t(0), 1, -1, 127, 128, -128, -129, 255, 256,
+                      32767, 32768, -32768, -32769, INT64_MAX, INT64_MIN,
+                      INT64_MAX - 1, INT64_MIN + 1));
+
+TEST(Ber, FuzzedValuesRoundTrip) {
+  util::Rng rng(2024);
+  for (int i = 0; i < 2000; ++i) {
+    switch (rng.uniform_int(0, 4)) {
+      case 0: {
+        const SnmpValue v(static_cast<std::int64_t>(rng.next()));
+        EXPECT_EQ(roundtrip(v), v);
+        break;
+      }
+      case 1: {
+        std::string s;
+        const int len = static_cast<int>(rng.uniform_int(0, 300));
+        for (int j = 0; j < len; ++j) {
+          s.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+        }
+        const SnmpValue v(s);
+        EXPECT_EQ(roundtrip(v), v);
+        break;
+      }
+      case 2: {
+        std::vector<std::uint32_t> ids{1,
+                                       static_cast<std::uint32_t>(
+                                           rng.uniform_int(0, 39))};
+        const int len = static_cast<int>(rng.uniform_int(0, 12));
+        for (int j = 0; j < len; ++j) {
+          ids.push_back(static_cast<std::uint32_t>(
+              rng.uniform_int(0, 0xFFFFFFFFll)));
+        }
+        const SnmpValue v{Oid(ids)};
+        EXPECT_EQ(roundtrip(v), v);
+        break;
+      }
+      case 3: {
+        const SnmpValue v(Counter64{rng.next()});
+        EXPECT_EQ(roundtrip(v), v);
+        break;
+      }
+      default: {
+        const SnmpValue v(Counter32{
+            static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFFFFFFll))});
+        EXPECT_EQ(roundtrip(v), v);
+        break;
+      }
+    }
+  }
+}
+
+TEST(Ber, TruncatedInputThrows) {
+  BerWriter w;
+  w.write_octet_string("hello world");
+  auto bytes = w.bytes();
+  for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+    BerReader r(std::span(bytes.data(), cut));
+    EXPECT_THROW(r.read_octet_string(), BerError) << "cut=" << cut;
+  }
+}
+
+TEST(Ber, WrongTagThrows) {
+  BerWriter w;
+  w.write_integer(5);
+  BerReader r(w.bytes());
+  EXPECT_THROW(r.read_octet_string(), BerError);
+}
+
+TEST(Ber, LongFormLengths) {
+  std::string big(300, 'x');
+  BerWriter w;
+  w.write_octet_string(big);
+  BerReader r(w.bytes());
+  EXPECT_EQ(r.read_octet_string(), big);
+}
+
+TEST(Pdu, MessageEncodeDecodeRoundTrip) {
+  Message msg;
+  msg.community = "hiper-d";
+  msg.pdu.type = PduType::kGetRequest;
+  msg.pdu.request_id = 777;
+  msg.pdu.varbinds.push_back(VarBind{mib2::kSysUpTime, SnmpValue(Null{})});
+  msg.pdu.varbinds.push_back(
+      VarBind{mib2::kIfNumber, SnmpValue(std::int64_t(3))});
+  const auto bytes = msg.encode();
+  const Message decoded = Message::decode(bytes);
+  EXPECT_EQ(decoded.community, "hiper-d");
+  EXPECT_EQ(decoded.pdu.type, PduType::kGetRequest);
+  EXPECT_EQ(decoded.pdu.request_id, 777);
+  ASSERT_EQ(decoded.pdu.varbinds.size(), 2u);
+  EXPECT_EQ(decoded.pdu.varbinds[0].oid, mib2::kSysUpTime);
+  EXPECT_EQ(decoded.pdu.varbinds[1].value, SnmpValue(std::int64_t(3)));
+}
+
+TEST(Pdu, AllPduTypesRoundTrip) {
+  for (PduType type :
+       {PduType::kGetRequest, PduType::kGetNextRequest, PduType::kResponse,
+        PduType::kSetRequest, PduType::kTrap}) {
+    Message msg;
+    msg.pdu.type = type;
+    msg.pdu.request_id = 5;
+    const Message decoded = Message::decode(msg.encode());
+    EXPECT_EQ(decoded.pdu.type, type);
+  }
+}
+
+TEST(Pdu, GarbageRejected) {
+  std::vector<std::uint8_t> junk{0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_THROW(Message::decode(junk), BerError);
+}
+
+// --- MibTree ----------------------------------------------------------------
+
+TEST(MibTree, GetExactAndMissing) {
+  MibTree tree;
+  tree.add_const(Oid{1, 3, 6, 1}, SnmpValue(std::int64_t(7)));
+  EXPECT_EQ(tree.get(Oid{1, 3, 6, 1}), SnmpValue(std::int64_t(7)));
+  EXPECT_TRUE(tree.get(Oid{1, 3, 6, 2}).is<NoSuchObject>());
+}
+
+TEST(MibTree, DuplicateRegistrationThrows) {
+  MibTree tree;
+  tree.add_const(Oid{1, 3}, SnmpValue(1));
+  EXPECT_THROW(tree.add_const(Oid{1, 3}, SnmpValue(2)), std::logic_error);
+}
+
+TEST(MibTree, GetNextIsStrictSuccessor) {
+  MibTree tree;
+  tree.add_const(Oid{1, 3, 1}, SnmpValue(1));
+  tree.add_const(Oid{1, 3, 2}, SnmpValue(2));
+  tree.add_const(Oid{1, 3, 2, 1}, SnmpValue(3));
+  auto next = tree.get_next(Oid{1, 3, 1});
+  ASSERT_TRUE(next);
+  EXPECT_EQ(next->oid, Oid({1, 3, 2}));
+  next = tree.get_next(Oid{1, 3, 2});
+  ASSERT_TRUE(next);
+  EXPECT_EQ(next->oid, Oid({1, 3, 2, 1}));
+  EXPECT_FALSE(tree.get_next(Oid{1, 3, 2, 1}));
+  // Starting before everything finds the first entry.
+  next = tree.get_next(Oid{1});
+  ASSERT_TRUE(next);
+  EXPECT_EQ(next->oid, Oid({1, 3, 1}));
+}
+
+TEST(MibTree, WalkVisitsEveryVariableExactlyOnce) {
+  MibTree tree;
+  util::Rng rng(5);
+  std::set<Oid> expected;
+  for (int i = 0; i < 200; ++i) {
+    Oid oid{1, 3, static_cast<std::uint32_t>(rng.uniform_int(0, 30)),
+            static_cast<std::uint32_t>(rng.uniform_int(0, 30))};
+    if (expected.insert(oid).second) {
+      tree.add_const(oid, SnmpValue(std::int64_t(i)));
+    }
+  }
+  // Walk via repeated get_next, as a manager would.
+  std::set<Oid> seen;
+  Oid cursor{1};
+  while (auto next = tree.get_next(cursor)) {
+    EXPECT_TRUE(seen.insert(next->oid).second) << "duplicate visit";
+    EXPECT_GT(next->oid, cursor);
+    cursor = next->oid;
+  }
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(MibTree, SetRespectsAccess) {
+  MibTree tree;
+  std::int64_t stored = 1;
+  tree.add_const(Oid{1, 1}, SnmpValue(5));
+  tree.add_writable(
+      Oid{1, 2}, [&] { return SnmpValue(stored); },
+      [&](const SnmpValue& v) {
+        if (!v.is<std::int64_t>()) return false;
+        stored = v.as<std::int64_t>();
+        return true;
+      });
+  EXPECT_EQ(tree.set(Oid{1, 1}, SnmpValue(9)), ErrorStatus::kReadOnly);
+  EXPECT_EQ(tree.set(Oid{1, 9}, SnmpValue(9)), ErrorStatus::kNoSuchName);
+  EXPECT_EQ(tree.set(Oid{1, 2}, SnmpValue("wrong type")),
+            ErrorStatus::kBadValue);
+  EXPECT_EQ(tree.set(Oid{1, 2}, SnmpValue(9)), ErrorStatus::kNoError);
+  EXPECT_EQ(stored, 9);
+}
+
+TEST(MibTree, RemoveSubtree) {
+  MibTree tree;
+  tree.add_const(Oid{1, 2, 1}, SnmpValue(1));
+  tree.add_const(Oid{1, 2, 2}, SnmpValue(2));
+  tree.add_const(Oid{1, 3}, SnmpValue(3));
+  tree.remove_subtree(Oid{1, 2});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.contains(Oid{1, 3}));
+}
+
+// --- agent/manager over the simulated network -------------------------------
+
+class SnmpNetFixture : public ::testing::Test {
+ protected:
+  SnmpNetFixture() : network(sim, util::Rng(31)) {
+    station = &network.add_host("station");
+    element = &network.add_host("element");
+    network.connect(*station, net::IpAddr(10, 0, 0, 1), *element,
+                    net::IpAddr(10, 0, 0, 2), 24, 10e6, Duration::us(100));
+    network.auto_route();
+    agent = std::make_unique<Agent>(*element);
+    manager = std::make_unique<Manager>(*station);
+  }
+  sim::Simulator sim;
+  net::Network network;
+  net::Host* station;
+  net::Host* element;
+  std::unique_ptr<Agent> agent;
+  std::unique_ptr<Manager> manager;
+  const net::IpAddr agent_ip{10, 0, 0, 2};
+};
+
+TEST_F(SnmpNetFixture, GetSysNameEndToEnd) {
+  SnmpResult result;
+  manager->get(agent_ip, {mib2::kSysName},
+               [&](const SnmpResult& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.varbinds.size(), 1u);
+  EXPECT_EQ(result.varbinds[0].value, SnmpValue(std::string("element")));
+}
+
+TEST_F(SnmpNetFixture, GetMissingOidReturnsNoSuchObject) {
+  SnmpResult result;
+  manager->get(agent_ip, {Oid{1, 3, 6, 1, 99}},
+               [&](const SnmpResult& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(result.varbinds[0].value.is<NoSuchObject>());
+}
+
+TEST_F(SnmpNetFixture, InterfaceCountersVisibleViaGet) {
+  // Generate some traffic first so ifOutOctets is nonzero.
+  element->udp().bind(7000, nullptr);
+  auto& sock = station->udp().bind(0, nullptr);
+  sock.send_to(agent_ip, 7000, 400, nullptr, net::TrafficClass::kApplication);
+  sim.run();
+
+  SnmpResult result;
+  manager->get(agent_ip,
+               {mib2::if_column(mib2::kIfInOctets, 1),
+                mib2::if_column(mib2::kIfOperStatus, 1)},
+               [&](const SnmpResult& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_GT(result.varbinds[0].value.to_uint64(), 400u);
+  EXPECT_EQ(result.varbinds[1].value, SnmpValue(std::int64_t(1)));
+}
+
+TEST_F(SnmpNetFixture, WalkSystemGroup) {
+  std::vector<VarBind> rows;
+  bool done = false;
+  manager->walk(agent_ip, oids::kSystem, [&](std::vector<VarBind> r) {
+    rows = std::move(r);
+    done = true;
+  });
+  sim.run();
+  ASSERT_TRUE(done);
+  ASSERT_EQ(rows.size(), 3u);  // sysDescr, sysUpTime, sysName
+  EXPECT_EQ(rows[0].oid, mib2::kSysDescr);
+  EXPECT_EQ(rows[2].oid, mib2::kSysName);
+}
+
+TEST_F(SnmpNetFixture, WalkWholeMibTerminates) {
+  std::vector<VarBind> rows;
+  manager->walk(agent_ip, Oid{1, 3},
+                [&](std::vector<VarBind> r) { rows = std::move(r); });
+  sim.run();
+  EXPECT_EQ(rows.size(), agent->mib().size());
+}
+
+TEST_F(SnmpNetFixture, BadCommunityIgnored) {
+  Manager::Config cfg;
+  cfg.community = "wrong";
+  cfg.timeout = Duration::ms(100);
+  cfg.retries = 0;
+  cfg.trap_port = 1162;  // the fixture's manager owns 162
+  Manager strict(*station, cfg);
+  SnmpResult result;
+  result.ok = true;
+  strict.get(agent_ip, {mib2::kSysName},
+             [&](const SnmpResult& r) { result = r; });
+  sim.run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(agent->counters().bad_community, 1u);
+}
+
+TEST_F(SnmpNetFixture, TimeoutAndRetryWhenAgentDown) {
+  element->set_up(false);
+  SnmpResult result;
+  result.ok = true;
+  manager->get(agent_ip, {mib2::kSysName},
+               [&](const SnmpResult& r) { result = r; });
+  sim.run_for(Duration::sec(10));
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(manager->counters().timeouts, 1u);
+  EXPECT_EQ(manager->counters().retries, 1u);  // default config: 1 retry
+  EXPECT_EQ(manager->counters().requests_sent, 2u);
+}
+
+TEST_F(SnmpNetFixture, SetWritableVariable) {
+  std::int64_t threshold = 10;
+  agent->mib().add_writable(
+      Oid{1, 3, 6, 1, 4, 1, 42, 1}, [&] { return SnmpValue(threshold); },
+      [&](const SnmpValue& v) {
+        if (!v.is<std::int64_t>()) return false;
+        threshold = v.as<std::int64_t>();
+        return true;
+      });
+  SnmpResult result;
+  manager->set(agent_ip,
+               {VarBind{Oid{1, 3, 6, 1, 4, 1, 42, 1}, SnmpValue(99)}},
+               [&](const SnmpResult& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.error_status, ErrorStatus::kNoError);
+  EXPECT_EQ(threshold, 99);
+}
+
+TEST_F(SnmpNetFixture, SetReadOnlyReportsError) {
+  SnmpResult result;
+  manager->set(agent_ip, {VarBind{mib2::kSysName, SnmpValue("x")}},
+               [&](const SnmpResult& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.error_status, ErrorStatus::kReadOnly);
+}
+
+TEST_F(SnmpNetFixture, TrapDeliveredToManager) {
+  std::vector<TrapEvent> traps;
+  manager->set_trap_handler([&](const TrapEvent& t) { traps.push_back(t); });
+  agent->send_trap(net::IpAddr(10, 0, 0, 1), Oid{1, 3, 6, 1, 4, 1, 42, 0, 1},
+                   {VarBind{Oid{1, 3, 6, 1, 4, 1, 42, 2}, SnmpValue(5)}});
+  sim.run();
+  ASSERT_EQ(traps.size(), 1u);
+  EXPECT_EQ(traps[0].trap_oid, Oid({1, 3, 6, 1, 4, 1, 42, 0, 1}));
+  EXPECT_EQ(traps[0].source, agent_ip);
+  ASSERT_EQ(traps[0].varbinds.size(), 1u);
+  EXPECT_EQ(traps[0].varbinds[0].value, SnmpValue(std::int64_t(5)));
+}
+
+TEST_F(SnmpNetFixture, TrapFloodOverrunsStationQueue) {
+  // Station processes 1 trap / 2 ms with a 64-deep queue: a 500-trap burst
+  // must lose some — the paper's "management station could be overrun".
+  std::vector<TrapEvent> traps;
+  manager->set_trap_handler([&](const TrapEvent& t) { traps.push_back(t); });
+  // Pace the flood just above the wire's drain rate so the element's own
+  // transmit queue is not the bottleneck: the *station* must be what
+  // overruns (1 trap / 2 ms service, 64-deep queue vs 1 trap / 200 us).
+  for (int i = 0; i < 500; ++i) {
+    sim.schedule_in(Duration::us(200 * i), [this] {
+      agent->send_trap(net::IpAddr(10, 0, 0, 1),
+                       Oid{1, 3, 6, 1, 4, 1, 42, 0, 1});
+    });
+  }
+  sim.run();
+  const auto& c = manager->counters();
+  EXPECT_GT(c.traps_dropped, 0u);
+  EXPECT_EQ(c.traps_processed, traps.size());
+  EXPECT_LT(traps.size(), 500u);
+  EXPECT_EQ(c.traps_received, c.traps_processed + c.traps_dropped);
+}
+
+TEST_F(SnmpNetFixture, GetBulkStepsRepeatedly) {
+  SnmpResult result;
+  manager->get_bulk(agent_ip, {oids::kSystem}, 3,
+                    [&](const SnmpResult& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.varbinds.size(), 3u);
+  EXPECT_EQ(result.varbinds[0].oid, mib2::kSysDescr);
+  EXPECT_EQ(result.varbinds[1].oid, mib2::kSysUpTime);
+  EXPECT_EQ(result.varbinds[2].oid, mib2::kSysName);
+}
+
+TEST_F(SnmpNetFixture, GetBulkPastEndReturnsEndOfMibView) {
+  SnmpResult result;
+  // Start just before the end of the MIB: the agent pads with endOfMibView.
+  manager->get_bulk(agent_ip, {Oid{1, 3, 6, 1, 2, 1, 7, 4}}, 5,
+                    [&](const SnmpResult& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.ok);
+  ASSERT_GE(result.varbinds.size(), 2u);
+  EXPECT_EQ(result.varbinds[0].oid, mib2::kUdpOutDatagrams);
+  EXPECT_TRUE(result.varbinds.back().value.is<EndOfMibView>());
+}
+
+TEST_F(SnmpNetFixture, BulkWalkMatchesGetNextWalk) {
+  std::vector<VarBind> via_next, via_bulk;
+  manager->walk(agent_ip, Oid{1, 3},
+                [&](std::vector<VarBind> r) { via_next = std::move(r); });
+  sim.run();
+  manager->bulk_walk(agent_ip, Oid{1, 3}, 8,
+                     [&](std::vector<VarBind> r) { via_bulk = std::move(r); });
+  sim.run();
+  ASSERT_EQ(via_bulk.size(), via_next.size());
+  for (std::size_t i = 0; i < via_bulk.size(); ++i) {
+    EXPECT_EQ(via_bulk[i].oid, via_next[i].oid);
+  }
+}
+
+TEST_F(SnmpNetFixture, BulkWalkUsesFewerRequests) {
+  std::uint64_t before = manager->counters().requests_sent;
+  manager->walk(agent_ip, Oid{1, 3}, [](std::vector<VarBind>) {});
+  sim.run();
+  const std::uint64_t next_requests =
+      manager->counters().requests_sent - before;
+  before = manager->counters().requests_sent;
+  manager->bulk_walk(agent_ip, Oid{1, 3}, 16, [](std::vector<VarBind>) {});
+  sim.run();
+  const std::uint64_t bulk_requests =
+      manager->counters().requests_sent - before;
+  EXPECT_LT(bulk_requests * 4, next_requests);
+}
+
+TEST(PduBulk, GetBulkFieldsRoundTripOnWire) {
+  Message msg;
+  msg.pdu.type = PduType::kGetBulk;
+  msg.pdu.request_id = 9;
+  msg.pdu.set_bulk(1, 25);
+  msg.pdu.varbinds.push_back(VarBind{Oid{1, 3, 6}, SnmpValue(Null{})});
+  const Message decoded = Message::decode(msg.encode());
+  EXPECT_EQ(decoded.pdu.type, PduType::kGetBulk);
+  EXPECT_EQ(decoded.pdu.non_repeaters(), 1);
+  EXPECT_EQ(decoded.pdu.max_repetitions(), 25);
+}
+
+TEST_F(SnmpNetFixture, HeartbeatWatchDetectsDownAndRecovery) {
+  // Paper §5.2.4: background polling detects failures that would silently
+  // suppress traps.
+  std::vector<std::pair<net::IpAddr, bool>> transitions;
+  manager->watch_agent(agent_ip, Duration::sec(1),
+                       [&](net::IpAddr ip, bool up) {
+                         transitions.emplace_back(ip, up);
+                       });
+  sim.run_for(Duration::sec(5));
+  ASSERT_EQ(transitions.size(), 1u);  // initial "up"
+  EXPECT_TRUE(transitions[0].second);
+  EXPECT_EQ(manager->agent_up(agent_ip), std::optional<bool>(true));
+
+  element->set_up(false);
+  sim.run_for(Duration::sec(10));
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_FALSE(transitions[1].second);
+  EXPECT_EQ(manager->agent_up(agent_ip), std::optional<bool>(false));
+
+  element->set_up(true);
+  sim.run_for(Duration::sec(10));
+  ASSERT_EQ(transitions.size(), 3u);
+  EXPECT_TRUE(transitions[2].second);
+}
+
+TEST_F(SnmpNetFixture, UnwatchStopsPolling) {
+  const int id = manager->watch_agent(agent_ip, Duration::sec(1),
+                                      [](net::IpAddr, bool) {});
+  sim.run_for(Duration::sec(3));
+  const auto sent = manager->counters().requests_sent;
+  manager->unwatch(id);
+  sim.run_for(Duration::sec(5));
+  EXPECT_EQ(manager->counters().requests_sent, sent);
+  EXPECT_FALSE(manager->agent_up(agent_ip).has_value());
+}
+
+TEST_F(SnmpNetFixture, LateDuplicateResponseIgnored) {
+  // Shorten timeout below the agent processing delay: the response arrives
+  // after the retry already went out; the second response must not confuse
+  // the manager.
+  Manager::Config cfg;
+  cfg.timeout = Duration::us(150);  // < 200us agent processing delay
+  cfg.retries = 2;
+  cfg.trap_port = 1163;
+  Manager impatient(*station, cfg);
+  int callbacks = 0;
+  impatient.get(agent_ip, {mib2::kSysName},
+                [&](const SnmpResult&) { ++callbacks; });
+  sim.run();
+  EXPECT_EQ(callbacks, 1);
+}
+
+}  // namespace
+}  // namespace netmon::snmp

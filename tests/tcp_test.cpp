@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/tcp.hpp"
+#include "net/topology.hpp"
+
+namespace netmon::net {
+namespace {
+
+using sim::Duration;
+
+class TcpFixture : public ::testing::Test {
+ protected:
+  explicit TcpFixture(double bw = 10e6, Duration delay = Duration::ms(1))
+      : network(sim, util::Rng(11)) {
+    a = &network.add_host("a");
+    b = &network.add_host("b");
+    network.connect(*a, IpAddr(10, 0, 0, 1), *b, IpAddr(10, 0, 0, 2), 24, bw,
+                    delay);
+    network.auto_route();
+  }
+
+  // Starts a server on b:9000 that records received bytes.
+  void start_server() {
+    b->tcp().listen(9000, [this](std::shared_ptr<TcpConnection> conn) {
+      server_conn = conn;
+      conn->set_receive_handler([this](std::span<const std::byte> data) {
+        received.insert(received.end(), data.begin(), data.end());
+      });
+      conn->set_close_handler([this] { server_saw_close = true; });
+    });
+  }
+
+  sim::Simulator sim;
+  Network network;
+  net::Host* a;
+  net::Host* b;
+  std::shared_ptr<TcpConnection> server_conn;
+  std::vector<std::byte> received;
+  bool server_saw_close = false;
+};
+
+TEST_F(TcpFixture, HandshakeEstablishesBothEnds) {
+  start_server();
+  bool established = false;
+  auto conn = a->tcp().connect(IpAddr(10, 0, 0, 2), 9000);
+  conn->set_established_handler([&] { established = true; });
+  sim.run_for(Duration::sec(1));
+  EXPECT_TRUE(established);
+  ASSERT_TRUE(server_conn);
+  EXPECT_EQ(conn->state(), TcpConnection::State::kEstablished);
+}
+
+TEST_F(TcpFixture, ConnectToClosedPortTimesOut) {
+  bool closed = false;
+  auto conn = a->tcp().connect(IpAddr(10, 0, 0, 2), 9999);
+  conn->set_close_handler([&] { closed = true; });
+  sim.run_for(Duration::sec(120));
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(conn->state(), TcpConnection::State::kClosed);
+}
+
+TEST_F(TcpFixture, DataArrivesInOrderAndIntact) {
+  start_server();
+  std::vector<std::byte> payload(50'000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>(i * 31 % 251);
+  }
+  auto conn = a->tcp().connect(IpAddr(10, 0, 0, 2), 9000);
+  conn->set_established_handler([&] { conn->send(payload); });
+  sim.run_for(Duration::sec(10));
+  EXPECT_EQ(received, payload);
+}
+
+TEST_F(TcpFixture, GracefulCloseReachesPeer) {
+  start_server();
+  auto conn = a->tcp().connect(IpAddr(10, 0, 0, 2), 9000);
+  conn->set_established_handler([&] {
+    conn->send_bytes(1000);
+    conn->close();
+  });
+  sim.run_for(Duration::sec(10));
+  EXPECT_EQ(received.size(), 1000u);
+  EXPECT_TRUE(server_saw_close);
+  EXPECT_EQ(conn->state(), TcpConnection::State::kClosed);
+}
+
+TEST_F(TcpFixture, SendAfterCloseThrows) {
+  start_server();
+  auto conn = a->tcp().connect(IpAddr(10, 0, 0, 2), 9000);
+  conn->set_established_handler([&] {
+    conn->close();
+    EXPECT_THROW(conn->send_bytes(10), std::logic_error);
+  });
+  sim.run_for(Duration::sec(5));
+}
+
+TEST_F(TcpFixture, AbortSendsRstAndClosesPeer) {
+  start_server();
+  auto conn = a->tcp().connect(IpAddr(10, 0, 0, 2), 9000);
+  conn->set_established_handler([&] { conn->send_bytes(100); });
+  sim.run_for(Duration::sec(1));
+  conn->abort();
+  sim.run_for(Duration::sec(1));
+  EXPECT_EQ(conn->state(), TcpConnection::State::kClosed);
+  ASSERT_TRUE(server_conn);
+  EXPECT_EQ(server_conn->state(), TcpConnection::State::kClosed);
+}
+
+TEST_F(TcpFixture, ThroughputApproachesLinkRate) {
+  start_server();
+  const std::uint64_t total = 2'000'000;
+  auto conn = a->tcp().connect(IpAddr(10, 0, 0, 2), 9000);
+  conn->set_established_handler([&] { conn->send_bytes(total); });
+  const auto t0 = sim.now();
+  sim.run_for(Duration::sec(30));
+  ASSERT_EQ(received.size(), total);
+  // Find completion time: all data acked.
+  EXPECT_EQ(conn->counters().bytes_acked, total);
+  const double elapsed = (sim.now() - t0).to_seconds();
+  (void)elapsed;
+  // Goodput over the run must be a sane fraction of the 10 Mb/s link.
+  const double goodput =
+      static_cast<double>(conn->counters().bytes_acked) * 8.0;
+  EXPECT_GT(goodput / 30.0, 0.2e6);  // loose lower bound over full window
+}
+
+class LossyTcpFixture : public TcpFixture {
+ protected:
+  // Tiny queues at 10 Mb/s with a fat sender window force drops.
+  LossyTcpFixture() : TcpFixture(2e6, Duration::ms(5)) {}
+};
+
+TEST_F(LossyTcpFixture, RecoversFromLossViaRetransmission) {
+  start_server();
+  std::vector<std::byte> payload(300'000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>((i * 7 + 3) % 251);
+  }
+  auto conn = a->tcp().connect(IpAddr(10, 0, 0, 2), 9000);
+  conn->set_established_handler([&] { conn->send(payload); });
+  sim.run_for(Duration::sec(60));
+  ASSERT_EQ(received.size(), payload.size());
+  EXPECT_EQ(received, payload);
+  // The 64-frame NIC queue cannot absorb slow-start bursts: loss happened.
+  EXPECT_GT(conn->counters().retransmissions, 0u);
+}
+
+TEST_F(TcpFixture, RttEstimateTracksPathDelay) {
+  start_server();
+  auto conn = a->tcp().connect(IpAddr(10, 0, 0, 2), 9000);
+  conn->set_established_handler([&] { conn->send_bytes(30'000); });
+  sim.run_for(Duration::sec(10));
+  // One-way delay 1 ms => RTT >= 2 ms; serialization adds more.
+  EXPECT_GE(conn->smoothed_rtt_seconds(), 0.002);
+  EXPECT_LT(conn->smoothed_rtt_seconds(), 0.2);
+}
+
+TEST_F(TcpFixture, CongestionWindowGrowsFromSlowStart) {
+  start_server();
+  auto conn = a->tcp().connect(IpAddr(10, 0, 0, 2), 9000);
+  const double initial_cwnd = conn->congestion_window();
+  conn->set_established_handler([&] { conn->send_bytes(500'000); });
+  sim.run_for(Duration::sec(10));
+  EXPECT_GT(conn->congestion_window(), initial_cwnd);
+}
+
+TEST_F(TcpFixture, TwoSimultaneousConnectionsStayIsolated) {
+  std::vector<std::byte> rx1, rx2;
+  b->tcp().listen(9001, [&](std::shared_ptr<TcpConnection> conn) {
+    conn->set_receive_handler([&rx1, conn](std::span<const std::byte> d) {
+      rx1.insert(rx1.end(), d.begin(), d.end());
+    });
+  });
+  b->tcp().listen(9002, [&](std::shared_ptr<TcpConnection> conn) {
+    conn->set_receive_handler([&rx2, conn](std::span<const std::byte> d) {
+      rx2.insert(rx2.end(), d.begin(), d.end());
+    });
+  });
+  auto c1 = a->tcp().connect(IpAddr(10, 0, 0, 2), 9001);
+  auto c2 = a->tcp().connect(IpAddr(10, 0, 0, 2), 9002);
+  std::vector<std::byte> ones(10'000, std::byte{1});
+  std::vector<std::byte> twos(20'000, std::byte{2});
+  c1->set_established_handler([&] { c1->send(ones); });
+  c2->set_established_handler([&] { c2->send(twos); });
+  sim.run_for(Duration::sec(20));
+  EXPECT_EQ(rx1, ones);
+  EXPECT_EQ(rx2, twos);
+}
+
+TEST_F(TcpFixture, ListenTwiceThrows) {
+  b->tcp().listen(9000, [](std::shared_ptr<TcpConnection>) {});
+  EXPECT_THROW(b->tcp().listen(9000, [](std::shared_ptr<TcpConnection>) {}),
+               std::logic_error);
+  b->tcp().stop_listening(9000);
+  EXPECT_NO_THROW(b->tcp().listen(9000, [](std::shared_ptr<TcpConnection>) {}));
+}
+
+TEST_F(TcpFixture, ConnectionsRemovedAfterClose) {
+  start_server();
+  auto conn = a->tcp().connect(IpAddr(10, 0, 0, 2), 9000);
+  conn->set_established_handler([&] { conn->close(); });
+  sim.run_for(Duration::sec(30));
+  EXPECT_EQ(a->tcp().active_connections(), 0u);
+}
+
+}  // namespace
+}  // namespace netmon::net

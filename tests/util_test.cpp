@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/ring_buffer.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace netmon::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 0.0);
+}
+
+TEST(Accumulator, MeanMinMax) {
+  Accumulator acc;
+  for (double x : {4.0, 1.0, 7.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 7.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 12.0);
+}
+
+TEST(Accumulator, VarianceMatchesTextbookFormula) {
+  Accumulator acc;
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  double mean = 0.0;
+  for (double x : xs) {
+    acc.add(x);
+    mean += x;
+  }
+  mean /= 8.0;
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - mean) * (x - mean);
+  EXPECT_NEAR(acc.variance(), m2 / 7.0, 1e-12);
+}
+
+TEST(Accumulator, MergeEqualsCombinedStream) {
+  Accumulator a, b, all;
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-5, 5);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeIntoEmpty) {
+  Accumulator a, b;
+  b.add(3.0);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+}
+
+TEST(Accumulator, CvZeroWhenMeanZero) {
+  Accumulator acc;
+  acc.add(-1.0);
+  acc.add(1.0);
+  EXPECT_DOUBLE_EQ(acc.cv(), 0.0);
+}
+
+TEST(SampleSet, QuantileInterpolates) {
+  SampleSet s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0 / 3.0), 20.0);
+}
+
+TEST(SampleSet, QuantileOutOfRangeThrows) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(1.5), std::out_of_range);
+}
+
+TEST(SampleSet, SingleSample) {
+  SampleSet s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleSet, AddAfterQuantileStillSorted) {
+  SampleSet s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  s.add(0.5);
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Histogram, BucketsAccumulate) {
+  Histogram h(1.0);
+  h.add(0.5);
+  h.add(0.7);
+  h.add(2.1, 3.0);
+  ASSERT_EQ(h.buckets().size(), 3u);
+  EXPECT_DOUBLE_EQ(h.buckets()[0], 2.0);
+  EXPECT_DOUBLE_EQ(h.buckets()[1], 0.0);
+  EXPECT_DOUBLE_EQ(h.buckets()[2], 3.0);
+  EXPECT_DOUBLE_EQ(h.total(), 5.0);
+}
+
+TEST(Histogram, NegativeKeysIgnored) {
+  Histogram h(1.0);
+  h.add(-0.1);
+  EXPECT_TRUE(h.buckets().empty());
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+}
+
+TEST(RingBuffer, FillsThenOverwritesOldest) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.oldest(), 1);
+  rb.push(4);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.oldest(), 2);
+  EXPECT_EQ(rb.newest(), 4);
+  EXPECT_EQ(rb[0], 2);
+  EXPECT_EQ(rb[1], 3);
+  EXPECT_EQ(rb[2], 4);
+}
+
+TEST(RingBuffer, LongSequenceKeepsLastK) {
+  RingBuffer<int> rb(5);
+  for (int i = 0; i < 100; ++i) rb.push(i);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(rb[i], 95 + static_cast<int>(i));
+}
+
+TEST(RingBuffer, ErrorsOnMisuse) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+  RingBuffer<int> rb(2);
+  EXPECT_THROW(rb.newest(), std::out_of_range);
+  rb.push(1);
+  EXPECT_THROW(rb[1], std::out_of_range);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb.oldest(), 9);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ForkIndependentButDeterministic) {
+  Rng a(123), b(123);
+  Rng fa = a.fork(), fb = b.fork();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fa.next(), fb.next());
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt_rate_mbps(2.18e6), "2.18 Mb/s");
+  EXPECT_EQ(TextTable::fmt_percent(0.125), "12.5%");
+  EXPECT_EQ(TextTable::fmt_bytes(512), "512 B");
+}
+
+}  // namespace
+}  // namespace netmon::util

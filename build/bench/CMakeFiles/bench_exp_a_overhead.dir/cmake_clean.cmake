@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_a_overhead.dir/bench_exp_a_overhead.cpp.o"
+  "CMakeFiles/bench_exp_a_overhead.dir/bench_exp_a_overhead.cpp.o.d"
+  "bench_exp_a_overhead"
+  "bench_exp_a_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_a_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_b_senescence.dir/bench_exp_b_senescence.cpp.o"
+  "CMakeFiles/bench_exp_b_senescence.dir/bench_exp_b_senescence.cpp.o.d"
+  "bench_exp_b_senescence"
+  "bench_exp_b_senescence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_b_senescence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_exp_b_senescence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_c_burst.dir/bench_exp_c_burst.cpp.o"
+  "CMakeFiles/bench_exp_c_burst.dir/bench_exp_c_burst.cpp.o.d"
+  "bench_exp_c_burst"
+  "bench_exp_c_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_c_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_d_clockoffset.dir/bench_exp_d_clockoffset.cpp.o"
+  "CMakeFiles/bench_exp_d_clockoffset.dir/bench_exp_d_clockoffset.cpp.o.d"
+  "bench_exp_d_clockoffset"
+  "bench_exp_d_clockoffset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_d_clockoffset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_e_snmploss.dir/bench_exp_e_snmploss.cpp.o"
+  "CMakeFiles/bench_exp_e_snmploss.dir/bench_exp_e_snmploss.cpp.o.d"
+  "bench_exp_e_snmploss"
+  "bench_exp_e_snmploss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_e_snmploss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_f_trapflood.dir/bench_exp_f_trapflood.cpp.o"
+  "CMakeFiles/bench_exp_f_trapflood.dir/bench_exp_f_trapflood.cpp.o.d"
+  "bench_exp_f_trapflood"
+  "bench_exp_f_trapflood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_f_trapflood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_g_fidelity.dir/bench_exp_g_fidelity.cpp.o"
+  "CMakeFiles/bench_exp_g_fidelity.dir/bench_exp_g_fidelity.cpp.o.d"
+  "bench_exp_g_fidelity"
+  "bench_exp_g_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_g_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

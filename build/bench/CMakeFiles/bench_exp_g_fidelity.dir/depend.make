@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_exp_g_fidelity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_h_reachability.dir/bench_exp_h_reachability.cpp.o"
+  "CMakeFiles/bench_exp_h_reachability.dir/bench_exp_h_reachability.cpp.o.d"
+  "bench_exp_h_reachability"
+  "bench_exp_h_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_h_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

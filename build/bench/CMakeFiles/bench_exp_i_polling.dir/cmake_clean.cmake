@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_i_polling.dir/bench_exp_i_polling.cpp.o"
+  "CMakeFiles/bench_exp_i_polling.dir/bench_exp_i_polling.cpp.o.d"
+  "bench_exp_i_polling"
+  "bench_exp_i_polling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_i_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_j_criteria.dir/bench_exp_j_criteria.cpp.o"
+  "CMakeFiles/bench_exp_j_criteria.dir/bench_exp_j_criteria.cpp.o.d"
+  "bench_exp_j_criteria"
+  "bench_exp_j_criteria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_j_criteria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

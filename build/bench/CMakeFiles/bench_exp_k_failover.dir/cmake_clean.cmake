@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_k_failover.dir/bench_exp_k_failover.cpp.o"
+  "CMakeFiles/bench_exp_k_failover.dir/bench_exp_k_failover.cpp.o.d"
+  "bench_exp_k_failover"
+  "bench_exp_k_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_k_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_monitor.dir/hybrid_monitor.cpp.o"
+  "CMakeFiles/hybrid_monitor.dir/hybrid_monitor.cpp.o.d"
+  "hybrid_monitor"
+  "hybrid_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

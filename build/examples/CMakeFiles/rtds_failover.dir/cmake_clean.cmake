@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_failover.dir/rtds_failover.cpp.o"
+  "CMakeFiles/rtds_failover.dir/rtds_failover.cpp.o.d"
+  "rtds_failover"
+  "rtds_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

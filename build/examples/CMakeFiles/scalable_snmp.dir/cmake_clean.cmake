@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalable_snmp.dir/scalable_snmp.cpp.o"
+  "CMakeFiles/scalable_snmp.dir/scalable_snmp.cpp.o.d"
+  "scalable_snmp"
+  "scalable_snmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalable_snmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmon_apps.dir/apps/rtds.cpp.o"
+  "CMakeFiles/netmon_apps.dir/apps/rtds.cpp.o.d"
+  "CMakeFiles/netmon_apps.dir/apps/testbed.cpp.o"
+  "CMakeFiles/netmon_apps.dir/apps/testbed.cpp.o.d"
+  "CMakeFiles/netmon_apps.dir/apps/traffic.cpp.o"
+  "CMakeFiles/netmon_apps.dir/apps/traffic.cpp.o.d"
+  "libnetmon_apps.a"
+  "libnetmon_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmon_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

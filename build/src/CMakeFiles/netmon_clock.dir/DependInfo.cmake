@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clock/host_clock.cpp" "src/CMakeFiles/netmon_clock.dir/clock/host_clock.cpp.o" "gcc" "src/CMakeFiles/netmon_clock.dir/clock/host_clock.cpp.o.d"
+  "/root/repo/src/clock/ntp.cpp" "src/CMakeFiles/netmon_clock.dir/clock/ntp.cpp.o" "gcc" "src/CMakeFiles/netmon_clock.dir/clock/ntp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netmon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmon_clock.dir/clock/host_clock.cpp.o"
+  "CMakeFiles/netmon_clock.dir/clock/host_clock.cpp.o.d"
+  "CMakeFiles/netmon_clock.dir/clock/ntp.cpp.o"
+  "CMakeFiles/netmon_clock.dir/clock/ntp.cpp.o.d"
+  "libnetmon_clock.a"
+  "libnetmon_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmon_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/high_fidelity_monitor.cpp" "src/CMakeFiles/netmon_core.dir/core/high_fidelity_monitor.cpp.o" "gcc" "src/CMakeFiles/netmon_core.dir/core/high_fidelity_monitor.cpp.o.d"
+  "/root/repo/src/core/hybrid_monitor.cpp" "src/CMakeFiles/netmon_core.dir/core/hybrid_monitor.cpp.o" "gcc" "src/CMakeFiles/netmon_core.dir/core/hybrid_monitor.cpp.o.d"
+  "/root/repo/src/core/measurement_db.cpp" "src/CMakeFiles/netmon_core.dir/core/measurement_db.cpp.o" "gcc" "src/CMakeFiles/netmon_core.dir/core/measurement_db.cpp.o.d"
+  "/root/repo/src/core/path.cpp" "src/CMakeFiles/netmon_core.dir/core/path.cpp.o" "gcc" "src/CMakeFiles/netmon_core.dir/core/path.cpp.o.d"
+  "/root/repo/src/core/scalable_monitor.cpp" "src/CMakeFiles/netmon_core.dir/core/scalable_monitor.cpp.o" "gcc" "src/CMakeFiles/netmon_core.dir/core/scalable_monitor.cpp.o.d"
+  "/root/repo/src/core/sensor_director.cpp" "src/CMakeFiles/netmon_core.dir/core/sensor_director.cpp.o" "gcc" "src/CMakeFiles/netmon_core.dir/core/sensor_director.cpp.o.d"
+  "/root/repo/src/core/sequencer.cpp" "src/CMakeFiles/netmon_core.dir/core/sequencer.cpp.o" "gcc" "src/CMakeFiles/netmon_core.dir/core/sequencer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netmon_nttcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netmon_snmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netmon_rmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netmon_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netmon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

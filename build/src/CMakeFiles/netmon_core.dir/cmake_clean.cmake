@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmon_core.dir/core/high_fidelity_monitor.cpp.o"
+  "CMakeFiles/netmon_core.dir/core/high_fidelity_monitor.cpp.o.d"
+  "CMakeFiles/netmon_core.dir/core/hybrid_monitor.cpp.o"
+  "CMakeFiles/netmon_core.dir/core/hybrid_monitor.cpp.o.d"
+  "CMakeFiles/netmon_core.dir/core/measurement_db.cpp.o"
+  "CMakeFiles/netmon_core.dir/core/measurement_db.cpp.o.d"
+  "CMakeFiles/netmon_core.dir/core/path.cpp.o"
+  "CMakeFiles/netmon_core.dir/core/path.cpp.o.d"
+  "CMakeFiles/netmon_core.dir/core/scalable_monitor.cpp.o"
+  "CMakeFiles/netmon_core.dir/core/scalable_monitor.cpp.o.d"
+  "CMakeFiles/netmon_core.dir/core/sensor_director.cpp.o"
+  "CMakeFiles/netmon_core.dir/core/sensor_director.cpp.o.d"
+  "CMakeFiles/netmon_core.dir/core/sequencer.cpp.o"
+  "CMakeFiles/netmon_core.dir/core/sequencer.cpp.o.d"
+  "libnetmon_core.a"
+  "libnetmon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

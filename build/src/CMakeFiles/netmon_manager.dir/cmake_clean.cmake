@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmon_manager.dir/manager/resource_manager.cpp.o"
+  "CMakeFiles/netmon_manager.dir/manager/resource_manager.cpp.o.d"
+  "libnetmon_manager.a"
+  "libnetmon_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmon_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

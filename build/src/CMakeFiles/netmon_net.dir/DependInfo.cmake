@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cpp" "src/CMakeFiles/netmon_net.dir/net/address.cpp.o" "gcc" "src/CMakeFiles/netmon_net.dir/net/address.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/CMakeFiles/netmon_net.dir/net/host.cpp.o" "gcc" "src/CMakeFiles/netmon_net.dir/net/host.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/netmon_net.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/netmon_net.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/CMakeFiles/netmon_net.dir/net/nic.cpp.o" "gcc" "src/CMakeFiles/netmon_net.dir/net/nic.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/netmon_net.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/netmon_net.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/CMakeFiles/netmon_net.dir/net/routing.cpp.o" "gcc" "src/CMakeFiles/netmon_net.dir/net/routing.cpp.o.d"
+  "/root/repo/src/net/shared_segment.cpp" "src/CMakeFiles/netmon_net.dir/net/shared_segment.cpp.o" "gcc" "src/CMakeFiles/netmon_net.dir/net/shared_segment.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/CMakeFiles/netmon_net.dir/net/switch.cpp.o" "gcc" "src/CMakeFiles/netmon_net.dir/net/switch.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/CMakeFiles/netmon_net.dir/net/tcp.cpp.o" "gcc" "src/CMakeFiles/netmon_net.dir/net/tcp.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/netmon_net.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/netmon_net.dir/net/topology.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/CMakeFiles/netmon_net.dir/net/udp.cpp.o" "gcc" "src/CMakeFiles/netmon_net.dir/net/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmon_net.dir/net/address.cpp.o"
+  "CMakeFiles/netmon_net.dir/net/address.cpp.o.d"
+  "CMakeFiles/netmon_net.dir/net/host.cpp.o"
+  "CMakeFiles/netmon_net.dir/net/host.cpp.o.d"
+  "CMakeFiles/netmon_net.dir/net/link.cpp.o"
+  "CMakeFiles/netmon_net.dir/net/link.cpp.o.d"
+  "CMakeFiles/netmon_net.dir/net/nic.cpp.o"
+  "CMakeFiles/netmon_net.dir/net/nic.cpp.o.d"
+  "CMakeFiles/netmon_net.dir/net/packet.cpp.o"
+  "CMakeFiles/netmon_net.dir/net/packet.cpp.o.d"
+  "CMakeFiles/netmon_net.dir/net/routing.cpp.o"
+  "CMakeFiles/netmon_net.dir/net/routing.cpp.o.d"
+  "CMakeFiles/netmon_net.dir/net/shared_segment.cpp.o"
+  "CMakeFiles/netmon_net.dir/net/shared_segment.cpp.o.d"
+  "CMakeFiles/netmon_net.dir/net/switch.cpp.o"
+  "CMakeFiles/netmon_net.dir/net/switch.cpp.o.d"
+  "CMakeFiles/netmon_net.dir/net/tcp.cpp.o"
+  "CMakeFiles/netmon_net.dir/net/tcp.cpp.o.d"
+  "CMakeFiles/netmon_net.dir/net/topology.cpp.o"
+  "CMakeFiles/netmon_net.dir/net/topology.cpp.o.d"
+  "CMakeFiles/netmon_net.dir/net/udp.cpp.o"
+  "CMakeFiles/netmon_net.dir/net/udp.cpp.o.d"
+  "libnetmon_net.a"
+  "libnetmon_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmon_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nttcp/clock_offset.cpp" "src/CMakeFiles/netmon_nttcp.dir/nttcp/clock_offset.cpp.o" "gcc" "src/CMakeFiles/netmon_nttcp.dir/nttcp/clock_offset.cpp.o.d"
+  "/root/repo/src/nttcp/nttcp.cpp" "src/CMakeFiles/netmon_nttcp.dir/nttcp/nttcp.cpp.o" "gcc" "src/CMakeFiles/netmon_nttcp.dir/nttcp/nttcp.cpp.o.d"
+  "/root/repo/src/nttcp/reachability.cpp" "src/CMakeFiles/netmon_nttcp.dir/nttcp/reachability.cpp.o" "gcc" "src/CMakeFiles/netmon_nttcp.dir/nttcp/reachability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netmon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netmon_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

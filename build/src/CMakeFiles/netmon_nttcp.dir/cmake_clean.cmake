@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmon_nttcp.dir/nttcp/clock_offset.cpp.o"
+  "CMakeFiles/netmon_nttcp.dir/nttcp/clock_offset.cpp.o.d"
+  "CMakeFiles/netmon_nttcp.dir/nttcp/nttcp.cpp.o"
+  "CMakeFiles/netmon_nttcp.dir/nttcp/nttcp.cpp.o.d"
+  "CMakeFiles/netmon_nttcp.dir/nttcp/reachability.cpp.o"
+  "CMakeFiles/netmon_nttcp.dir/nttcp/reachability.cpp.o.d"
+  "libnetmon_nttcp.a"
+  "libnetmon_nttcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmon_nttcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetmon_nttcp.a"
+)

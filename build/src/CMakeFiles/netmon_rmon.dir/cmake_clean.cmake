@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmon_rmon.dir/rmon/alarm.cpp.o"
+  "CMakeFiles/netmon_rmon.dir/rmon/alarm.cpp.o.d"
+  "CMakeFiles/netmon_rmon.dir/rmon/capture.cpp.o"
+  "CMakeFiles/netmon_rmon.dir/rmon/capture.cpp.o.d"
+  "CMakeFiles/netmon_rmon.dir/rmon/history.cpp.o"
+  "CMakeFiles/netmon_rmon.dir/rmon/history.cpp.o.d"
+  "CMakeFiles/netmon_rmon.dir/rmon/probe.cpp.o"
+  "CMakeFiles/netmon_rmon.dir/rmon/probe.cpp.o.d"
+  "libnetmon_rmon.a"
+  "libnetmon_rmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmon_rmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for netmon_rmon.
+# This may be replaced when dependencies are built.

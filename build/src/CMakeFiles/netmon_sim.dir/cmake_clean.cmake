@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmon_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/netmon_sim.dir/sim/simulator.cpp.o.d"
+  "libnetmon_sim.a"
+  "libnetmon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

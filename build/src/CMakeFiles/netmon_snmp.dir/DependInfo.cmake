@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snmp/agent.cpp" "src/CMakeFiles/netmon_snmp.dir/snmp/agent.cpp.o" "gcc" "src/CMakeFiles/netmon_snmp.dir/snmp/agent.cpp.o.d"
+  "/root/repo/src/snmp/ber.cpp" "src/CMakeFiles/netmon_snmp.dir/snmp/ber.cpp.o" "gcc" "src/CMakeFiles/netmon_snmp.dir/snmp/ber.cpp.o.d"
+  "/root/repo/src/snmp/manager.cpp" "src/CMakeFiles/netmon_snmp.dir/snmp/manager.cpp.o" "gcc" "src/CMakeFiles/netmon_snmp.dir/snmp/manager.cpp.o.d"
+  "/root/repo/src/snmp/mib.cpp" "src/CMakeFiles/netmon_snmp.dir/snmp/mib.cpp.o" "gcc" "src/CMakeFiles/netmon_snmp.dir/snmp/mib.cpp.o.d"
+  "/root/repo/src/snmp/mib2.cpp" "src/CMakeFiles/netmon_snmp.dir/snmp/mib2.cpp.o" "gcc" "src/CMakeFiles/netmon_snmp.dir/snmp/mib2.cpp.o.d"
+  "/root/repo/src/snmp/oid.cpp" "src/CMakeFiles/netmon_snmp.dir/snmp/oid.cpp.o" "gcc" "src/CMakeFiles/netmon_snmp.dir/snmp/oid.cpp.o.d"
+  "/root/repo/src/snmp/pdu.cpp" "src/CMakeFiles/netmon_snmp.dir/snmp/pdu.cpp.o" "gcc" "src/CMakeFiles/netmon_snmp.dir/snmp/pdu.cpp.o.d"
+  "/root/repo/src/snmp/value.cpp" "src/CMakeFiles/netmon_snmp.dir/snmp/value.cpp.o" "gcc" "src/CMakeFiles/netmon_snmp.dir/snmp/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netmon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netmon_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

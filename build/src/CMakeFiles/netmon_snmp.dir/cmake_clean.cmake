@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmon_snmp.dir/snmp/agent.cpp.o"
+  "CMakeFiles/netmon_snmp.dir/snmp/agent.cpp.o.d"
+  "CMakeFiles/netmon_snmp.dir/snmp/ber.cpp.o"
+  "CMakeFiles/netmon_snmp.dir/snmp/ber.cpp.o.d"
+  "CMakeFiles/netmon_snmp.dir/snmp/manager.cpp.o"
+  "CMakeFiles/netmon_snmp.dir/snmp/manager.cpp.o.d"
+  "CMakeFiles/netmon_snmp.dir/snmp/mib.cpp.o"
+  "CMakeFiles/netmon_snmp.dir/snmp/mib.cpp.o.d"
+  "CMakeFiles/netmon_snmp.dir/snmp/mib2.cpp.o"
+  "CMakeFiles/netmon_snmp.dir/snmp/mib2.cpp.o.d"
+  "CMakeFiles/netmon_snmp.dir/snmp/oid.cpp.o"
+  "CMakeFiles/netmon_snmp.dir/snmp/oid.cpp.o.d"
+  "CMakeFiles/netmon_snmp.dir/snmp/pdu.cpp.o"
+  "CMakeFiles/netmon_snmp.dir/snmp/pdu.cpp.o.d"
+  "CMakeFiles/netmon_snmp.dir/snmp/value.cpp.o"
+  "CMakeFiles/netmon_snmp.dir/snmp/value.cpp.o.d"
+  "libnetmon_snmp.a"
+  "libnetmon_snmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmon_snmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmon_util.dir/util/logging.cpp.o"
+  "CMakeFiles/netmon_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/netmon_util.dir/util/rng.cpp.o"
+  "CMakeFiles/netmon_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/netmon_util.dir/util/stats.cpp.o"
+  "CMakeFiles/netmon_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/netmon_util.dir/util/table.cpp.o"
+  "CMakeFiles/netmon_util.dir/util/table.cpp.o.d"
+  "libnetmon_util.a"
+  "libnetmon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

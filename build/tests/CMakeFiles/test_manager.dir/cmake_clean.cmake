@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manager.dir/manager_test.cpp.o"
+  "CMakeFiles/test_manager.dir/manager_test.cpp.o.d"
+  "test_manager"
+  "test_manager.pdb"
+  "test_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

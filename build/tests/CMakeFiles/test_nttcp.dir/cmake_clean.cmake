@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nttcp.dir/nttcp_test.cpp.o"
+  "CMakeFiles/test_nttcp.dir/nttcp_test.cpp.o.d"
+  "test_nttcp"
+  "test_nttcp.pdb"
+  "test_nttcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nttcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

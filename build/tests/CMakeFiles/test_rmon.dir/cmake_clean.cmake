@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmon.dir/rmon_test.cpp.o"
+  "CMakeFiles/test_rmon.dir/rmon_test.cpp.o.d"
+  "test_rmon"
+  "test_rmon.pdb"
+  "test_rmon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

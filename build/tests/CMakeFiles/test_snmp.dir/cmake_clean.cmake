@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snmp.dir/snmp_test.cpp.o"
+  "CMakeFiles/test_snmp.dir/snmp_test.cpp.o.d"
+  "test_snmp"
+  "test_snmp.pdb"
+  "test_snmp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

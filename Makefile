@@ -1,0 +1,25 @@
+# Convenience wrappers around the CMake presets (see CMakePresets.json).
+#   make build      - configure + build the default tree in ./build
+#   make test       - tier-1 test suite on the default tree
+#   make sanitize   - tier-1 test suite under ASan+UBSan in ./build-sanitize
+#   make bench      - run microbenchmarks, writing BENCH_micro.json
+
+.PHONY: build test sanitize bench clean
+
+build:
+	cmake --preset default
+	cmake --build --preset default -j
+
+test: build
+	ctest --preset default
+
+sanitize:
+	cmake --preset sanitize
+	cmake --build --preset sanitize -j
+	ctest --preset sanitize
+
+bench: build
+	bench/run_benchmarks.sh
+
+clean:
+	rm -rf build build-sanitize

@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "core/measurement_db.hpp"
 #include "net/topology.hpp"
 #include "net/udp.hpp"
@@ -44,6 +47,25 @@ void BM_PeriodicTimerChain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PeriodicTimerChain);
+
+// 1000 concurrent periodic probes at staggered cadences: the wheel's bucket
+// path (link, cascade, batch dispatch) rather than the solo fast path.
+void BM_ConcurrentPeriodicTimers(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t fired = 0;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(sim.schedule_periodic(
+          sim::Duration::us(100 + (i * 7) % 400), [&fired] { ++fired; }));
+    }
+    sim.run_for(sim::Duration::ms(10));
+    for (auto& h : handles) h.cancel();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_ConcurrentPeriodicTimers);
 
 snmp::Message sample_message() {
   snmp::Message msg;
@@ -110,6 +132,60 @@ void BM_MeasurementDbRecord(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MeasurementDbRecord);
+
+// Steady-state record+current over a working set of 27 paths x 3 metrics,
+// keyed by Path (interning wrapper) vs. by dense PathId (hot API).
+std::vector<core::Path> sample_paths() {
+  std::vector<core::Path> paths;
+  for (int i = 0; i < 27; ++i) {
+    paths.emplace_back(
+        core::ProcessEndpoint{"src", net::IpAddr(10, 0, std::uint8_t(i / 8), std::uint8_t(i % 8 + 1)), 1},
+        core::ProcessEndpoint{"dst", net::IpAddr(10, 1, std::uint8_t(i / 8), std::uint8_t(i % 8 + 1)), 1});
+  }
+  return paths;
+}
+
+void BM_MeasurementDbWorkingSetByPath(benchmark::State& state) {
+  const auto paths = sample_paths();
+  core::MeasurementDatabase db;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (const core::Path& p : paths) {
+      for (std::size_t m = 0; m < core::kMetricCount; ++m) {
+        const auto metric = static_cast<core::Metric>(m);
+        const auto now = sim::TimePoint::from_nanos(++t);
+        db.record(p, metric, core::MetricValue::of(1.0, now));
+        auto cur = db.current(p, metric, now, sim::Duration::sec(1));
+        benchmark::DoNotOptimize(cur);
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * paths.size() *
+                          core::kMetricCount);
+}
+BENCHMARK(BM_MeasurementDbWorkingSetByPath);
+
+void BM_MeasurementDbWorkingSetById(benchmark::State& state) {
+  const auto paths = sample_paths();
+  core::MeasurementDatabase db;
+  std::vector<core::PathId> ids;
+  for (const core::Path& p : paths) ids.push_back(db.id_of(p));
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (const core::PathId id : ids) {
+      for (std::size_t m = 0; m < core::kMetricCount; ++m) {
+        const auto metric = static_cast<core::Metric>(m);
+        const auto now = sim::TimePoint::from_nanos(++t);
+        db.record(id, metric, core::MetricValue::of(1.0, now));
+        auto cur = db.current(id, metric, now, sim::Duration::sec(1));
+        benchmark::DoNotOptimize(cur);
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size() *
+                          core::kMetricCount);
+}
+BENCHMARK(BM_MeasurementDbWorkingSetById);
 
 void BM_SimulatedUdpRoundTrip(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Runs the microbenchmark suite and records the results as JSON so runs can
+# be diffed across commits.
+#
+# Usage: bench/run_benchmarks.sh [build-dir] [output.json]
+#   build-dir defaults to ./build (must already be configured and built)
+#   output    defaults to BENCH_micro.json in the repo root
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+out=${2:-"$repo_root/BENCH_micro.json"}
+
+bench_bin="$build_dir/bench/bench_micro"
+if [ ! -x "$bench_bin" ]; then
+  echo "error: $bench_bin not found or not executable." >&2
+  echo "Build first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+"$bench_bin" \
+  --benchmark_format=json \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${BENCH_REPS:-1}"
+
+echo "wrote $out"

@@ -2,11 +2,27 @@
 
 namespace netmon::core {
 
-void MeasurementDatabase::record(const Path& path, Metric metric,
-                                 const MetricValue& value) {
+PathId MeasurementDatabase::id_of(const Path& path) {
   auto [it, inserted] =
-      series_.try_emplace(Key{path, metric}, history_depth_);
-  Series& series = it->second;
+      ids_.try_emplace(path, static_cast<PathId>(paths_.size()));
+  if (inserted) {
+    paths_.push_back(&it->first);  // map nodes are stable
+    for (std::size_t m = 0; m < kMetricCount; ++m) {
+      series_.emplace_back(history_depth_);
+    }
+  }
+  return it->second;
+}
+
+PathId MeasurementDatabase::find(const Path& path) const {
+  auto it = ids_.find(path);
+  return it == ids_.end() ? kInvalidPathId : it->second;
+}
+
+void MeasurementDatabase::record(PathId id, Metric metric,
+                                 const MetricValue& value) {
+  Series& series = series_[slot(id, metric)];
+  if (series.history.empty()) ++tracked_series_;
   const Measurement m{value};
   series.history.push(m);
   if (value.valid) series.last_valid = m;
@@ -14,34 +30,31 @@ void MeasurementDatabase::record(const Path& path, Metric metric,
 }
 
 std::optional<Measurement> MeasurementDatabase::current(
-    const Path& path, Metric metric, sim::TimePoint now,
-    sim::Duration max_age) const {
-  auto it = series_.find(Key{path, metric});
-  if (it == series_.end() || !it->second.last_valid) return std::nullopt;
-  const Measurement& m = *it->second.last_valid;
+    PathId id, Metric metric, sim::TimePoint now, sim::Duration max_age) const {
+  const Series& series = series_[slot(id, metric)];
+  if (!series.last_valid) return std::nullopt;
+  const Measurement& m = *series.last_valid;
   if (m.age(now) > max_age) return std::nullopt;
   return m;
 }
 
 std::optional<Measurement> MeasurementDatabase::last_known(
-    const Path& path, Metric metric) const {
-  auto it = series_.find(Key{path, metric});
-  if (it == series_.end()) return std::nullopt;
-  return it->second.last_valid;
+    PathId id, Metric metric) const {
+  return series_[slot(id, metric)].last_valid;
 }
 
 std::optional<sim::Duration> MeasurementDatabase::senescence(
-    const Path& path, Metric metric, sim::TimePoint now) const {
-  auto it = series_.find(Key{path, metric});
-  if (it == series_.end() || it->second.history.empty()) return std::nullopt;
-  return it->second.history.newest().age(now);
+    PathId id, Metric metric, sim::TimePoint now) const {
+  const Series& series = series_[slot(id, metric)];
+  if (series.history.empty()) return std::nullopt;
+  return series.history.newest().age(now);
 }
 
 const util::RingBuffer<Measurement>* MeasurementDatabase::history(
-    const Path& path, Metric metric) const {
-  auto it = series_.find(Key{path, metric});
-  if (it == series_.end()) return nullptr;
-  return &it->second.history;
+    PathId id, Metric metric) const {
+  const Series& series = series_[slot(id, metric)];
+  if (series.history.empty()) return nullptr;
+  return &series.history;
 }
 
 }  // namespace netmon::core

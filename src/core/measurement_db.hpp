@@ -4,10 +4,17 @@
 // known value reporting to the resource manager". Also the home of the
 // senescence component of fidelity (§4.4): the age of the newest sample for
 // a (path, metric) pair.
+//
+// Paths are interned into dense PathIds on first contact; series then live
+// in a flat vector indexed by (PathId, Metric), so the steady-state record
+// path is an array index away — no tree walk and no Path copy per sample.
+// The Path-keyed overloads remain as thin wrappers (one interning lookup)
+// for callers that do not hold an id.
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <unordered_map>
+#include <vector>
 
 #include "core/path.hpp"
 #include "sim/time.hpp"
@@ -23,30 +30,73 @@ struct Measurement {
   }
 };
 
+// Dense index of an interned Path. Ids are assigned in interning order,
+// starting at 0, and stay valid for the database's lifetime.
+using PathId = std::uint32_t;
+constexpr PathId kInvalidPathId = 0xFFFFFFFFu;
+
 class MeasurementDatabase {
  public:
   explicit MeasurementDatabase(std::size_t history_depth = 64)
       : history_depth_(history_depth) {}
 
-  void record(const Path& path, Metric metric, const MetricValue& value);
+  // Interning: id_of() assigns (or returns) the dense id for a path;
+  // find() never assigns and reports kInvalidPathId for unknown paths.
+  PathId id_of(const Path& path);
+  PathId find(const Path& path) const;
+  const Path& path_of(PathId id) const { return *paths_[id]; }
+  std::size_t interned_paths() const { return paths_.size(); }
 
+  // Hot API, keyed by interned id.
+  void record(PathId id, Metric metric, const MetricValue& value);
+  std::optional<Measurement> current(PathId id, Metric metric,
+                                     sim::TimePoint now,
+                                     sim::Duration max_age) const;
+  std::optional<Measurement> last_known(PathId id, Metric metric) const;
+  std::optional<sim::Duration> senescence(PathId id, Metric metric,
+                                          sim::TimePoint now) const;
+  const util::RingBuffer<Measurement>* history(PathId id, Metric metric) const;
+
+  // Path-keyed convenience wrappers. record() interns; the read-only calls
+  // return "never sampled" for paths that were never recorded.
+  void record(const Path& path, Metric metric, const MetricValue& value) {
+    record(id_of(path), metric, value);
+  }
   // Current-value semantics: the newest sample iff it is younger than
   // max_age (and was a successful measurement).
   std::optional<Measurement> current(const Path& path, Metric metric,
                                      sim::TimePoint now,
-                                     sim::Duration max_age) const;
+                                     sim::Duration max_age) const {
+    const PathId id = find(path);
+    if (id == kInvalidPathId) return std::nullopt;
+    return current(id, metric, now, max_age);
+  }
   // Last-known-value semantics: the newest *successful* sample regardless
   // of age — what the manager falls back to when sensors go quiet.
-  std::optional<Measurement> last_known(const Path& path, Metric metric) const;
+  std::optional<Measurement> last_known(const Path& path,
+                                        Metric metric) const {
+    const PathId id = find(path);
+    if (id == kInvalidPathId) return std::nullopt;
+    return last_known(id, metric);
+  }
   // Age of the newest sample (successful or not); nullopt if never sampled.
   std::optional<sim::Duration> senescence(const Path& path, Metric metric,
-                                          sim::TimePoint now) const;
-
+                                          sim::TimePoint now) const {
+    const PathId id = find(path);
+    if (id == kInvalidPathId) return std::nullopt;
+    return senescence(id, metric, now);
+  }
   const util::RingBuffer<Measurement>* history(const Path& path,
-                                               Metric metric) const;
+                                               Metric metric) const {
+    const PathId id = find(path);
+    if (id == kInvalidPathId) return nullptr;
+    return history(id, metric);
+  }
 
   std::uint64_t records_written() const { return records_written_; }
-  std::size_t tracked_series() const { return series_.size(); }
+  // Number of (path, metric) series holding at least one sample. (Interning
+  // alone reserves slots but does not create a tracked series.)
+  std::size_t tracked_series() const { return tracked_series_; }
 
  private:
   struct Series {
@@ -54,10 +104,19 @@ class MeasurementDatabase {
     std::optional<Measurement> last_valid;
     explicit Series(std::size_t depth) : history(depth) {}
   };
-  using Key = std::pair<Path, Metric>;
+
+  std::size_t slot(PathId id, Metric metric) const {
+    return static_cast<std::size_t>(id) * kMetricCount +
+           static_cast<std::size_t>(metric);
+  }
 
   std::size_t history_depth_;
-  std::map<Key, Series> series_;
+  // Keyed on Path's precomputed structural hash: the steady-state interning
+  // lookup is a bucket probe plus one equality check, no string re-hashing.
+  std::unordered_map<Path, PathId> ids_;
+  std::vector<const Path*> paths_;  // id -> map key (node-stable)
+  std::vector<Series> series_;      // interned_paths() * kMetricCount slots
+  std::size_t tracked_series_ = 0;
   std::uint64_t records_written_ = 0;
 };
 

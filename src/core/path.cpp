@@ -15,11 +15,38 @@ std::string ProcessEndpoint::to_string() const {
   return out;
 }
 
+namespace {
+
+// FNV-1a over the endpoint fields; length-prefix the strings so
+// ("ab","c") and ("a","bc") cannot collide structurally.
+std::size_t hash_endpoints(const std::vector<ProcessEndpoint>& endpoints) {
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  for (const ProcessEndpoint& e : endpoints) {
+    const std::uint64_t len = e.process.size();
+    mix(&len, sizeof len);
+    mix(e.process.data(), e.process.size());
+    const std::uint32_t raw = e.host.raw();
+    mix(&raw, sizeof raw);
+    mix(&e.port, sizeof e.port);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace
+
 Path::Path(std::vector<ProcessEndpoint> endpoints)
     : endpoints_(std::move(endpoints)) {
   if (endpoints_.size() < 2) {
     throw std::invalid_argument("Path: needs at least two endpoints");
   }
+  hash_ = hash_endpoints(endpoints_);
 }
 
 Path::Path(ProcessEndpoint from, ProcessEndpoint to)

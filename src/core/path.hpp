@@ -6,7 +6,9 @@
 // processes — and the metrics to collect on each.
 
 #include <compare>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,10 +42,22 @@ class Path {
 
   std::string to_string() const;  // "a@10.0.0.1 -> b@10.0.0.2"
 
-  auto operator<=>(const Path&) const = default;
+  // Structural hash, computed once at construction (endpoints are immutable
+  // afterwards). Lets hash containers key on Path without re-hashing the
+  // endpoint strings per lookup — the measurement database's interning step
+  // sits on the per-sample hot path.
+  std::size_t hash() const { return hash_; }
+
+  bool operator==(const Path& o) const {
+    return hash_ == o.hash_ && endpoints_ == o.endpoints_;
+  }
+  std::strong_ordering operator<=>(const Path& o) const {
+    return endpoints_ <=> o.endpoints_;
+  }
 
  private:
   std::vector<ProcessEndpoint> endpoints_;
+  std::size_t hash_ = 0;
 };
 
 enum class Metric : std::uint8_t {
@@ -75,3 +89,10 @@ struct PathMetricTuple {
 };
 
 }  // namespace netmon::core
+
+template <>
+struct std::hash<netmon::core::Path> {
+  std::size_t operator()(const netmon::core::Path& p) const {
+    return p.hash();
+  }
+};

@@ -68,22 +68,25 @@ void SensorDirector::start_round(std::shared_ptr<ActiveRequest> request) {
     return;
   }
   for (const PathRequest& pr : request->request.paths) {
+    // Intern once per round; the per-measurement hot path below records by
+    // dense id and never re-keys the database on the full Path.
+    const PathId path_id = database_.id_of(pr.path);
     for (Metric metric : pr.metrics) {
       NetworkSensor* sensor = sensor_for(metric);
-      sequencer_.enqueue([this, request, sensor, path = pr.path,
+      sequencer_.enqueue([this, request, sensor, path = pr.path, path_id,
                           metric](TestSequencer::Done done) {
         if (request->cancelled) {
           // Account for the skipped job so the round can still close out.
-          job_finished(request, path, metric,
+          job_finished(request, path, path_id, metric,
                        MetricValue::failed(sim_.now()));
           done();
           return;
         }
         ++stats_.measurements_started;
         sensor->measure(path, metric,
-                        [this, request, path, metric,
+                        [this, request, path, path_id, metric,
                          done](MetricValue value) {
-                          job_finished(request, path, metric, value);
+                          job_finished(request, path, path_id, metric, value);
                           done();
                         });
       });
@@ -93,13 +96,13 @@ void SensorDirector::start_round(std::shared_ptr<ActiveRequest> request) {
 
 void SensorDirector::job_finished(
     const std::shared_ptr<ActiveRequest>& request, const Path& path,
-    Metric metric, MetricValue value) {
+    PathId path_id, Metric metric, MetricValue value) {
   ++stats_.measurements_completed;
   if (!value.valid) ++stats_.measurements_failed;
 
   if (!request->cancelled) {
     if (request->request.record_to_database) {
-      database_.record(path, metric, value);
+      database_.record(path_id, metric, value);
     }
     PathMetricTuple tuple{path, metric, value};
     if (request->request.reporting == MonitorRequest::Reporting::kSynchronous) {

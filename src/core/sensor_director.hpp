@@ -106,7 +106,8 @@ class SensorDirector {
 
   void start_round(std::shared_ptr<ActiveRequest> request);
   void job_finished(const std::shared_ptr<ActiveRequest>& request,
-                    const Path& path, Metric metric, MetricValue value);
+                    const Path& path, PathId path_id, Metric metric,
+                    MetricValue value);
   void round_finished(const std::shared_ptr<ActiveRequest>& request);
 
   sim::Simulator& sim_;

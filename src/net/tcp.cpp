@@ -20,6 +20,19 @@ TcpStack::TcpStack(Host& host) : host_(host) {
                              [this](const Packet& p) { deliver(p); });
 }
 
+TcpStack::~TcpStack() {
+  // Application handlers routinely capture the connection's own shared_ptr
+  // (e.g. an accept callback keeping the accepted connection alive), which
+  // forms a reference cycle through the handler. Connections still open at
+  // stack teardown can never fire again, so drop their handlers to break
+  // those cycles.
+  for (auto& [key, conn] : connections_) {
+    conn->on_receive_ = nullptr;
+    conn->on_established_ = nullptr;
+    conn->on_close_ = nullptr;
+  }
+}
+
 void TcpStack::listen(std::uint16_t port, AcceptHandler handler) {
   if (!listeners_.emplace(port, std::move(handler)).second) {
     throw std::logic_error(host_.name() + ": TCP port " +

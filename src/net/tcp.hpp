@@ -172,6 +172,7 @@ class TcpStack {
   using AcceptHandler = std::function<void(std::shared_ptr<TcpConnection>)>;
 
   explicit TcpStack(Host& host);
+  ~TcpStack();
 
   // Passive open.
   void listen(std::uint16_t port, AcceptHandler handler);

@@ -1,0 +1,230 @@
+#pragma once
+
+// Hierarchical timing wheel for one-shot and periodic timers (Varghese &
+// Lauck style,
+// bucket layout after Tokio's wheel). Eleven levels of 64 buckets cover the
+// full 64-bit nanosecond tick space: level n buckets span 64^n ticks, and an
+// entry lives at the level where its expiry first differs from the wheel's
+// `elapsed` cursor. Insert and remove are O(1); finding the earliest
+// occupied bucket is two ctz instructions (a per-wheel level summary mask,
+// then that level's 64-bit occupancy word).
+//
+// The wheel does NOT fire timers itself. expire_earliest_until() pops the
+// earliest bucket, cascades entries that are not yet exact down a level, and
+// reports entries whose expiry equals the bucket boundary as "due"; the
+// simulator either dispatches those directly or pushes them into its event
+// heap when they tie with a queued heap event, which settles exact
+// (time, seq) order. Entries are identified by small integer ids supplied by the caller
+// (the simulator's slot ids), so a bucket is an intrusive doubly-linked list
+// of ids and steady-state re-arming allocates nothing.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace netmon::sim {
+
+class TimerWheel {
+ public:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr std::int64_t kNever =
+      std::numeric_limits<std::int64_t>::max();
+
+  TimerWheel() {
+    for (std::uint32_t& h : heads_) h = kNil;
+  }
+
+  // Make ids [0, n) addressable. Amortized O(1); called as slots grow.
+  void ensure_capacity(std::size_t n) {
+    if (entries_.size() < n) entries_.resize(n);
+  }
+
+  // Insert `id` with absolute expiry `expiry_ns`. Returns false (without
+  // inserting) iff the expiry is not in the future of the wheel cursor —
+  // the caller should then treat the timer as immediately due.
+  //
+  // A wheel holding exactly one timer keeps it in a dedicated front slot
+  // (`solo_`) and skips the bucket machinery entirely; a lone fast probe
+  // chain therefore re-arms and expires without any cascading. The second
+  // concurrent timer demotes the front slot into the buckets.
+  bool insert(std::uint32_t id, std::int64_t expiry_ns) {
+    if (expiry_ns <= elapsed_) return false;
+    Entry& e = entries_[id];
+    e.expiry = expiry_ns;
+    if (size_ == 0) {
+      solo_ = id;
+      e.linked = true;
+    } else {
+      if (solo_ != kNil) {  // demote the front slot to the buckets
+        Entry& s = entries_[solo_];
+        link(solo_, s);
+        solo_ = kNil;
+      }
+      link(id, e);
+    }
+    ++size_;
+    return true;
+  }
+
+  // O(1) removal of a linked entry; no-op for unlinked ids.
+  void remove(std::uint32_t id) {
+    Entry& e = entries_[id];
+    if (!e.linked) return;
+    if (solo_ == id) {
+      solo_ = kNil;
+      e.linked = false;
+    } else {
+      unlink(e);
+    }
+    --size_;
+  }
+
+  // Advance the cursor. Precondition: every linked entry expires strictly
+  // after `t` (the simulator guarantees this by flushing due buckets before
+  // firing any event at time t). A fresher cursor means fewer cascade hops
+  // for subsequent inserts.
+  void advance(std::int64_t t) {
+    if (t > elapsed_) elapsed_ = t;
+  }
+
+  bool linked(std::uint32_t id) const { return entries_[id].linked; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::int64_t elapsed() const { return elapsed_; }
+
+  // Lower bound on the earliest expiry in the wheel (exact when the earliest
+  // occupied bucket is at level 0); kNever when empty.
+  std::int64_t next_boundary() const {
+    if (solo_ != kNil) return entries_[solo_].expiry;
+    if (level_mask_ == 0) return kNever;
+    const unsigned level = static_cast<unsigned>(std::countr_zero(level_mask_));
+    const unsigned slot =
+        static_cast<unsigned>(std::countr_zero(occupancy_[level]));
+    return boundary_of(level, slot);
+  }
+
+  // If the earliest occupied bucket's boundary is <= `horizon`: advance the
+  // cursor to that boundary, pop the bucket, re-file entries that are not
+  // yet due (cascading them at least one level down), append ids of entries
+  // expiring exactly at the boundary to `due` (in unspecified order — the
+  // caller orders them by sequence number), and return the boundary.
+  // Otherwise return kNever and leave the wheel untouched.
+  std::int64_t expire_earliest_until(std::int64_t horizon,
+                                     std::vector<std::uint32_t>& due) {
+    if (solo_ != kNil) {  // sole entry: no buckets to scan or cascade
+      Entry& e = entries_[solo_];
+      if (e.expiry > horizon) return kNever;
+      elapsed_ = e.expiry;
+      e.linked = false;
+      due.push_back(solo_);
+      solo_ = kNil;
+      --size_;
+      return elapsed_;
+    }
+    if (level_mask_ == 0) return kNever;
+    const unsigned level = static_cast<unsigned>(std::countr_zero(level_mask_));
+    const unsigned slot =
+        static_cast<unsigned>(std::countr_zero(occupancy_[level]));
+    const std::int64_t boundary = boundary_of(level, slot);
+    if (boundary > horizon) return kNever;
+
+    elapsed_ = boundary;
+    std::uint32_t id = heads_[level * kSlots + slot];
+    heads_[level * kSlots + slot] = kNil;
+    occupancy_[level] &= ~(std::uint64_t{1} << slot);
+    if (occupancy_[level] == 0) {
+      level_mask_ &= static_cast<std::uint16_t>(~(1u << level));
+    }
+    while (id != kNil) {
+      Entry& e = entries_[id];
+      const std::uint32_t next = e.next;
+      e.linked = false;
+      if (e.expiry <= boundary) {
+        due.push_back(id);
+        --size_;
+      } else {
+        link(id, e);  // cascades strictly below `level`
+      }
+      id = next;
+    }
+    return boundary;
+  }
+
+ private:
+  static constexpr std::size_t kLevels = 11;  // 11 * 6 bits >= 64
+  static constexpr std::size_t kSlots = 64;
+  static constexpr unsigned kBitsPerLevel = 6;
+
+  struct Entry {
+    std::int64_t expiry = 0;
+    std::uint32_t next = kNil;
+    std::uint32_t prev = kNil;
+    std::uint16_t bucket = 0;  // level * kSlots + slot, for unlink
+    bool linked = false;
+  };
+
+  std::int64_t boundary_of(std::size_t level, unsigned slot) const {
+    const unsigned shift = kBitsPerLevel * static_cast<unsigned>(level);
+    std::uint64_t above = static_cast<std::uint64_t>(elapsed_);
+    if (shift + kBitsPerLevel < 64) {
+      above &= ~((std::uint64_t{1} << (shift + kBitsPerLevel)) - 1);
+    } else {
+      above = 0;
+    }
+    return static_cast<std::int64_t>(above | (std::uint64_t{slot} << shift));
+  }
+
+  void link(std::uint32_t id, Entry& e) {
+    // The level is where expiry and the cursor first differ; within it the
+    // slot index is strictly greater than the cursor's, so per-level ctz
+    // always yields the earliest pending bucket.
+    const std::uint64_t diff = static_cast<std::uint64_t>(e.expiry) ^
+                               static_cast<std::uint64_t>(elapsed_);
+    const unsigned level =
+        (63u - static_cast<unsigned>(std::countl_zero(diff))) / kBitsPerLevel;
+    const unsigned slot = static_cast<unsigned>(
+        (static_cast<std::uint64_t>(e.expiry) >> (kBitsPerLevel * level)) &
+        (kSlots - 1));
+    const std::uint16_t bucket =
+        static_cast<std::uint16_t>(level * kSlots + slot);
+    e.bucket = bucket;
+    e.prev = kNil;
+    e.next = heads_[bucket];
+    if (e.next != kNil) entries_[e.next].prev = id;
+    heads_[bucket] = id;
+    e.linked = true;
+    occupancy_[level] |= std::uint64_t{1} << slot;
+    level_mask_ |= static_cast<std::uint16_t>(1u << level);
+  }
+
+  void unlink(Entry& e) {
+    if (e.prev != kNil) {
+      entries_[e.prev].next = e.next;
+    } else {
+      heads_[e.bucket] = e.next;
+    }
+    if (e.next != kNil) entries_[e.next].prev = e.prev;
+    if (heads_[e.bucket] == kNil) {
+      const std::size_t level = e.bucket / kSlots;
+      occupancy_[level] &= ~(std::uint64_t{1} << (e.bucket % kSlots));
+      if (occupancy_[level] == 0) {
+        level_mask_ &= static_cast<std::uint16_t>(~(1u << level));
+      }
+    }
+    e.linked = false;
+    e.next = kNil;
+    e.prev = kNil;
+  }
+
+  std::int64_t elapsed_ = 0;  // all linked entries expire strictly after this
+  std::size_t size_ = 0;
+  std::uint32_t solo_ = kNil;  // set iff size_ == 1 and buckets are empty
+  std::uint16_t level_mask_ = 0;  // bit n set iff occupancy_[n] != 0
+  std::uint64_t occupancy_[kLevels] = {};
+  std::uint32_t heads_[kLevels * kSlots];  // initialized to kNil in ctor
+  std::vector<Entry> entries_;
+};
+
+}  // namespace netmon::sim

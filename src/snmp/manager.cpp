@@ -65,9 +65,14 @@ void Manager::bulk_walk(net::IpAddr agent, Oid root,
                         std::int32_t max_repetitions,
                         std::function<void(std::vector<VarBind>)> handler) {
   auto collected = std::make_shared<std::vector<VarBind>>();
+  // The stepper must not strongly capture its own shared_ptr (permanent
+  // self-cycle); instead each in-flight continuation holds the strong
+  // reference, so the stepper dies when the walk completes.
   auto step = std::make_shared<std::function<void(Oid)>>();
   *step = [this, agent, root, max_repetitions, collected,
-           handler = std::move(handler), step](Oid cursor) {
+           handler = std::move(handler),
+           weak_step = std::weak_ptr(step)](Oid cursor) {
+    auto step = weak_step.lock();
     get_bulk(agent, {cursor}, max_repetitions,
              [this, agent, root, collected, handler, step,
               cursor](const SnmpResult& result) {
@@ -95,9 +100,12 @@ void Manager::bulk_walk(net::IpAddr agent, Oid root,
 void Manager::walk(net::IpAddr agent, Oid root,
                    std::function<void(std::vector<VarBind>)> handler) {
   auto collected = std::make_shared<std::vector<VarBind>>();
+  // Same weak self-capture as bulk_walk: the pending continuation owns the
+  // stepper, not the stepper itself.
   auto step = std::make_shared<std::function<void(Oid)>>();
   *step = [this, agent, root, collected, handler = std::move(handler),
-           step](Oid cursor) {
+           weak_step = std::weak_ptr(step)](Oid cursor) {
+    auto step = weak_step.lock();
     get_next(agent, {cursor},
              [this, agent, root, collected, handler, step,
               cursor](const SnmpResult& result) {

@@ -22,7 +22,7 @@ class RingBuffer {
       storage_.push_back(std::move(value));
     } else {
       storage_[head_] = std::move(value);
-      head_ = (head_ + 1) % capacity_;
+      if (++head_ == capacity_) head_ = 0;  // no div on the hot push path
     }
   }
 

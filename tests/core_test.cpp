@@ -104,6 +104,44 @@ TEST(MeasurementDb, HistoryBounded) {
   EXPECT_EQ(db.records_written(), 10u);
 }
 
+TEST(MeasurementDb, PathInterningIsStableAndDense) {
+  MeasurementDatabase db;
+  const Path p1 = make_path(1, 2);
+  const Path p2 = make_path(1, 3);
+  const PathId id1 = db.id_of(p1);
+  const PathId id2 = db.id_of(p2);
+  EXPECT_EQ(id1, 0u);
+  EXPECT_EQ(id2, 1u);
+  EXPECT_EQ(db.id_of(p1), id1);  // idempotent
+  EXPECT_EQ(db.find(p2), id2);
+  EXPECT_EQ(db.find(make_path(9, 9)), kInvalidPathId);
+  EXPECT_EQ(db.path_of(id1), p1);
+  EXPECT_EQ(db.interned_paths(), 2u);
+  // Interning alone creates no tracked series.
+  EXPECT_EQ(db.tracked_series(), 0u);
+  EXPECT_FALSE(db.last_known(p1, Metric::kThroughput));
+  EXPECT_EQ(db.history(p1, Metric::kThroughput), nullptr);
+}
+
+TEST(MeasurementDb, IdAndPathKeyedApisAgree) {
+  MeasurementDatabase db;
+  const Path p = make_path(4, 5);
+  const PathId id = db.id_of(p);
+  db.record(id, Metric::kOneWayLatency,
+            MetricValue::of(0.5, TimePoint::from_nanos(100)));
+  db.record(p, Metric::kOneWayLatency,
+            MetricValue::of(0.7, TimePoint::from_nanos(200)));
+  // Both writes landed on the same series, whichever key queries it.
+  auto by_id = db.last_known(id, Metric::kOneWayLatency);
+  auto by_path = db.last_known(p, Metric::kOneWayLatency);
+  ASSERT_TRUE(by_id && by_path);
+  EXPECT_DOUBLE_EQ(by_id->value.value, 0.7);
+  EXPECT_DOUBLE_EQ(by_path->value.value, 0.7);
+  EXPECT_EQ(db.history(id, Metric::kOneWayLatency)->size(), 2u);
+  EXPECT_EQ(db.tracked_series(), 1u);
+  EXPECT_EQ(db.records_written(), 2u);
+}
+
 TEST(MeasurementDb, SenescenceMonotoneBetweenUpdates) {
   MeasurementDatabase db;
   const Path p = make_path(1, 2);

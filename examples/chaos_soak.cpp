@@ -1,0 +1,136 @@
+// Scripted chaos against the supervised monitor (DESIGN.md §9): a FaultPlan
+// flaps a client link, crashes the active server, and wedges the primary
+// sensor permanently — while the supervision layer (deadline -> retry ->
+// breaker -> fallback) keeps (path, metric) tuples flowing and the resource
+// manager fails the RTDS over to the replica. Re-run it with the same seed
+// and the fault log and counters replay identically.
+//
+//   $ ./chaos_soak [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/testbed.hpp"
+#include "core/scalable_monitor.hpp"
+#include "fault/chaos_sensor.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "manager/resource_manager.hpp"
+
+using namespace netmon;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1234;
+
+  sim::Simulator sim;
+  apps::TestbedOptions options;
+  options.servers = 2;
+  options.clients = 2;
+  options.seed = seed;
+  apps::Testbed bed(sim, options);
+
+  // Scalable (SNMP) monitor with the full supervision stack enabled.
+  core::ScalableMonitor::Config cfg;
+  cfg.manager.timeout = sim::Duration::ms(250);
+  cfg.manager.retries = 1;
+  cfg.supervision.deadline = sim::Duration::sec(2);
+  cfg.supervision.max_retries = 1;
+  cfg.supervision.backoff_base = sim::Duration::ms(100);
+  cfg.supervision.breaker_threshold = 3;
+  cfg.supervision.breaker_open_for = sim::Duration::sec(8);
+  core::ScalableMonitor monitor(bed.network(), bed.station(), cfg);
+
+  // The primary reachability sensor is wrapped in a ChaosSensor so the plan
+  // can wedge it; the raw SNMP sensor stays registered as the fallback.
+  fault::ChaosSensor chaos(sim, monitor.sensor());
+  monitor.director().register_sensor(core::Metric::kReachability, &chaos);
+  monitor.director().register_fallback(core::Metric::kReachability,
+                                       &monitor.sensor());
+
+  mgr::ResourceManager::Config rm_cfg;
+  rm_cfg.mode = core::MonitorRequest::Mode::kPeriodic;
+  rm_cfg.period = sim::Duration::sec(1);
+  rm_cfg.metrics = {core::Metric::kReachability};
+  rm_cfg.strikes = 2;
+  rm_cfg.failure_fraction = 0.5;
+  mgr::ResourceManager manager(monitor.director(), rm_cfg);
+  manager.set_reconfiguration_callback(
+      [](const mgr::ReconfigurationEvent& event) {
+        std::printf("[t=%7.3fs] RECONFIGURATION %s -> %s (%s)\n",
+                    event.at.to_seconds(),
+                    event.old_server.to_string().c_str(),
+                    event.new_server.to_string().c_str(),
+                    event.reason.c_str());
+      });
+
+  mgr::ManagedApplication app;
+  app.name = "rtds";
+  app.server_pool = {bed.server_ip(0), bed.server_ip(1)};
+  app.client_pool = {bed.client_ip(0), bed.client_ip(1)};
+  app.port = 5000;
+  manager.manage(app, bed.server_ip(0));
+
+  // The scripted chaos: everything below replays identically per seed.
+  fault::FaultInjector injector(sim);
+  for (const auto& link : bed.network().links()) {
+    injector.register_link(link->name(), *link);
+  }
+  injector.register_host("server0", bed.server(0));
+  injector.register_sensor("primary", chaos);
+
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.link_flap(sim::Duration::sec(3), "client0<->backbone", /*cycles=*/2,
+                 sim::Duration::ms(400), sim::Duration::ms(400));
+  plan.host_crash(sim::Duration::sec(10), "server0");
+  plan.sensor_mode(sim::Duration::sec(20), "primary",
+                   fault::ChaosSensor::Mode::kHang);
+  injector.arm(plan);
+
+  std::printf("chaos soak, seed %llu: link flaps @3s, server0 crash @10s, "
+              "sensor hang @20s\n\n",
+              static_cast<unsigned long long>(seed));
+  sim.run_until(sim::TimePoint::from_nanos(sim::Duration::sec(40).nanos()));
+
+  std::printf("\nfault log:\n");
+  for (const auto& record : injector.log()) {
+    std::printf("  [t=%7.3fs] %s\n", record.at.to_seconds(),
+                record.description.c_str());
+  }
+
+  const core::DirectorStats& stats = monitor.director().stats();
+  std::printf("\nsupervision:\n");
+  std::printf("  started %llu, completed %llu, failed %llu\n",
+              static_cast<unsigned long long>(stats.measurements_started),
+              static_cast<unsigned long long>(stats.measurements_completed),
+              static_cast<unsigned long long>(stats.measurements_failed));
+  std::printf("  timeouts %llu, late %llu, retries %llu, fallbacks %llu, "
+              "breaker skips %llu, exhausted %llu\n",
+              static_cast<unsigned long long>(stats.timeouts),
+              static_cast<unsigned long long>(stats.late_completions),
+              static_cast<unsigned long long>(stats.retries),
+              static_cast<unsigned long long>(stats.fallbacks),
+              static_cast<unsigned long long>(stats.breaker_skips),
+              static_cast<unsigned long long>(stats.exhausted));
+  std::printf("  sequencer: completed %llu, abandoned %llu, double-done %llu, "
+              "queued %zu\n",
+              static_cast<unsigned long long>(
+                  monitor.director().sequencer().completed()),
+              static_cast<unsigned long long>(
+                  monitor.director().sequencer().abandoned()),
+              static_cast<unsigned long long>(
+                  monitor.director().sequencer().double_dones()),
+              monitor.director().sequencer().queued());
+
+  std::printf("\nmanager:\n");
+  std::printf("  active server:    %s\n",
+              manager.active_server("rtds").to_string().c_str());
+  std::printf("  reconfigurations: %llu\n",
+              static_cast<unsigned long long>(manager.reconfigurations()));
+  std::printf("  tuples consumed:  %llu (degraded %llu, stale %llu)\n",
+              static_cast<unsigned long long>(manager.tuples_consumed()),
+              static_cast<unsigned long long>(manager.degraded_tuples()),
+              static_cast<unsigned long long>(manager.stale_tuples()));
+  return 0;
+}

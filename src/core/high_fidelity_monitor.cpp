@@ -107,8 +107,9 @@ void NttcpSensor::cleanup_later(std::uint64_t token) {
 }
 
 HighFidelityMonitor::HighFidelityMonitor(net::Network& network, Config config)
-    : director_(network.simulator(), config.max_concurrent),
-      sensor_(network, config.probe, config.reach) {
+    : sensor_(network, config.probe, config.reach),
+      director_(network.simulator(), config.max_concurrent,
+                config.supervision) {
   director_.register_sensor(Metric::kThroughput, &sensor_);
   director_.register_sensor(Metric::kOneWayLatency, &sensor_);
   director_.register_sensor(Metric::kReachability, &sensor_);

@@ -79,6 +79,8 @@ class HighFidelityMonitor {
     // 1 reproduces the paper's test sequencer; kUnlimited the naive
     // all-paths-in-parallel monitor.
     std::size_t max_concurrent = 1;
+    // Deadline/retry/breaker supervision; all off by default.
+    SupervisionConfig supervision;
   };
 
   HighFidelityMonitor(net::Network& network, Config config);
@@ -88,8 +90,13 @@ class HighFidelityMonitor {
   NttcpSensor& sensor() { return sensor_; }
 
  private:
-  SensorDirector director_;
+  // The director must be destroyed before the sensor it drives: tearing the
+  // sensor down first destroys its in-flight Done callbacks, and the
+  // sequencer would pump the next queued measurement into a half-dead
+  // sensor. Director-last keeps teardown a no-op (the sequencer's liveness
+  // guard is already gone when the sensor's callbacks unwind).
   NttcpSensor sensor_;
+  SensorDirector director_;
 };
 
 }  // namespace netmon::core

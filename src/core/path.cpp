@@ -76,4 +76,14 @@ const char* to_string(Metric metric) {
   return "?";
 }
 
+const char* to_string(SampleQuality quality) {
+  switch (quality) {
+    case SampleQuality::kFresh: return "fresh";
+    case SampleQuality::kRetried: return "retried";
+    case SampleQuality::kFallback: return "fallback";
+    case SampleQuality::kStale: return "stale";
+  }
+  return "?";
+}
+
 }  // namespace netmon::core

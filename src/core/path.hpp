@@ -68,10 +68,23 @@ enum class Metric : std::uint8_t {
 constexpr std::size_t kMetricCount = 3;
 const char* to_string(Metric metric);
 
+// Provenance of a sample under supervision (DESIGN.md §9): the resource
+// manager can weigh a first-attempt reading differently from one that needed
+// retries, came from a lower-fidelity fallback sensor, or is a re-report of
+// the last known value after the whole sensor chain was exhausted.
+enum class SampleQuality : std::uint8_t {
+  kFresh,     // first attempt on the primary sensor succeeded
+  kRetried,   // succeeded after >= 1 retry of the same sensor
+  kFallback,  // succeeded via a fallback sensor in the chain
+  kStale,     // supervision exhausted; last known value re-reported
+};
+const char* to_string(SampleQuality quality);
+
 struct MetricValue {
   double value = 0.0;
   bool valid = false;          // false: the measurement itself failed
   sim::TimePoint measured_at;  // true simulation time of completion
+  SampleQuality quality = SampleQuality::kFresh;
 
   static MetricValue of(double v, sim::TimePoint at) {
     return MetricValue{v, true, at};

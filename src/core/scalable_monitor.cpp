@@ -27,14 +27,29 @@ void SnmpSensor::measure(const Path& path, Metric metric, Done done) {
 }
 
 void SnmpSensor::measure_reachability(const Path& path, Done done) {
-  // A host whose agent answers is considered reachable (paper §5.2.2:
-  // "the sensor director could translate (path, metric)-tuples ... to SNMP
-  // MIB queries"). Polls the *destination* host of the path.
+  // A path is reachable when the agents on BOTH endpoints answer (paper
+  // §5.2.2: "the sensor director could translate (path, metric)-tuples ...
+  // to SNMP MIB queries"). A poll the manager abandons after its retries is
+  // a *failed* sample, never a silently-missing or falsely-valid one: the
+  // supervision layer decides whether to retry, fall back, or strike.
   ++polls_issued_;
   manager_.get(path.destination().host, {snmp::mib2::kSysUpTime},
-               [this, done = std::move(done)](const snmp::SnmpResult& r) {
-                 done(MetricValue::of(r.ok ? 1.0 : 0.0,
-                                      network_.simulator().now()));
+               [this, src = path.source().host,
+                done = std::move(done)](const snmp::SnmpResult& r) {
+                 if (!r.ok) {
+                   done(MetricValue::failed(network_.simulator().now()));
+                   return;
+                 }
+                 ++polls_issued_;
+                 manager_.get(src, {snmp::mib2::kSysUpTime},
+                              [this, done = std::move(done)](
+                                  const snmp::SnmpResult& r2) {
+                                done(r2.ok ? MetricValue::of(
+                                                 1.0,
+                                                 network_.simulator().now())
+                                           : MetricValue::failed(
+                                                 network_.simulator().now()));
+                              });
                });
 }
 
@@ -111,7 +126,8 @@ ScalableMonitor::ScalableMonitor(net::Network& network, net::Host& station,
     : station_(station),
       manager_(station, config.manager),
       sensor_(network, manager_, config.sensor),
-      director_(network.simulator(), config.max_concurrent) {
+      director_(network.simulator(), config.max_concurrent,
+                config.supervision) {
   director_.register_sensor(Metric::kThroughput, &sensor_);
   director_.register_sensor(Metric::kOneWayLatency, &sensor_);
   director_.register_sensor(Metric::kReachability, &sensor_);

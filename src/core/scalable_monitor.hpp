@@ -53,6 +53,8 @@ class ScalableMonitor {
     SnmpSensor::Config sensor;
     // SNMP polls are light; modest parallelism is the realistic default.
     std::size_t max_concurrent = 8;
+    // Deadline/retry/breaker supervision; all off by default.
+    SupervisionConfig supervision;
   };
 
   // `station` is the management-station host (SunNet Manager analogue).

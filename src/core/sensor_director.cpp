@@ -1,13 +1,38 @@
 #include "core/sensor_director.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/logging.hpp"
 
 namespace netmon::core {
 
+namespace {
+
+// Shared between one attempt's deadline timer and its sensor completion:
+// whichever settles first wins; the loser degrades to a counted no-op.
+struct AttemptState {
+  bool settled = false;
+  sim::EventHandle timer;
+};
+
+}  // namespace
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
 SensorDirector::SensorDirector(sim::Simulator& sim, std::size_t max_concurrent)
-    : sim_(sim), sequencer_(max_concurrent) {}
+    : SensorDirector(sim, max_concurrent, SupervisionConfig{}) {}
+
+SensorDirector::SensorDirector(sim::Simulator& sim, std::size_t max_concurrent,
+                               SupervisionConfig supervision)
+    : sim_(sim), sequencer_(max_concurrent), supervision_(supervision) {}
 
 void SensorDirector::register_sensor(Metric metric, NetworkSensor* sensor) {
   if (sensor != nullptr && !sensor->supports(metric)) {
@@ -15,11 +40,34 @@ void SensorDirector::register_sensor(Metric metric, NetworkSensor* sensor) {
                                 " does not support metric " +
                                 std::string(to_string(metric)));
   }
-  sensors_[static_cast<std::size_t>(metric)] = sensor;
+  auto& chain = chains_[static_cast<std::size_t>(metric)];
+  chain.clear();
+  if (sensor != nullptr) chain.push_back(sensor);
+}
+
+void SensorDirector::register_fallback(Metric metric, NetworkSensor* sensor) {
+  if (sensor == nullptr) {
+    throw std::invalid_argument("SensorDirector: null fallback sensor");
+  }
+  if (!sensor->supports(metric)) {
+    throw std::invalid_argument("SensorDirector: sensor " + sensor->name() +
+                                " does not support metric " +
+                                std::string(to_string(metric)));
+  }
+  chains_[static_cast<std::size_t>(metric)].push_back(sensor);
 }
 
 NetworkSensor* SensorDirector::sensor_for(Metric metric) const {
-  return sensors_[static_cast<std::size_t>(metric)];
+  const auto& chain = chains_[static_cast<std::size_t>(metric)];
+  return chain.empty() ? nullptr : chain.front();
+}
+
+const SensorHealth* SensorDirector::health(const NetworkSensor* sensor,
+                                           const Path& path) const {
+  const PathId id = database_.find(path);
+  if (id == kInvalidPathId) return nullptr;
+  auto it = health_.find({sensor, id});
+  return it == health_.end() ? nullptr : &it->second;
 }
 
 SensorDirector::RequestId SensorDirector::submit(MonitorRequest request,
@@ -72,39 +120,220 @@ void SensorDirector::start_round(std::shared_ptr<ActiveRequest> request) {
     // dense id and never re-keys the database on the full Path.
     const PathId path_id = database_.id_of(pr.path);
     for (Metric metric : pr.metrics) {
-      NetworkSensor* sensor = sensor_for(metric);
-      sequencer_.enqueue([this, request, sensor, path = pr.path, path_id,
-                          metric](TestSequencer::Done done) {
-        if (request->cancelled) {
-          // Account for the skipped job so the round can still close out.
-          job_finished(request, path, path_id, metric,
-                       MetricValue::failed(sim_.now()));
-          done();
+      auto job = std::make_shared<Job>();
+      job->request = request;
+      job->path = pr.path;
+      job->path_id = path_id;
+      job->metric = metric;
+      enqueue_job(std::move(job));
+    }
+  }
+}
+
+void SensorDirector::enqueue_job(std::shared_ptr<Job> job) {
+  sequencer_.enqueue([this, job = std::move(job)](TestSequencer::Done done) {
+    launch(job, std::move(done));
+  });
+}
+
+void SensorDirector::launch(std::shared_ptr<Job> job,
+                            TestSequencer::Done done) {
+  if (job->request->cancelled) {
+    // Account for the skipped job so the round can still close out.
+    job_finished(job->request, job->path, job->path_id, job->metric,
+                 MetricValue::failed(sim_.now()));
+    done();
+    return;
+  }
+  const auto& chain = chains_[static_cast<std::size_t>(job->metric)];
+  NetworkSensor* sensor = nullptr;
+  while (job->sensor_index < chain.size()) {
+    NetworkSensor* candidate = chain[job->sensor_index];
+    if (breaker_admits(candidate, job->path_id)) {
+      sensor = candidate;
+      break;
+    }
+    ++stats_.breaker_skips;
+    ++job->sensor_index;
+    job->attempt = 0;
+  }
+  if (sensor == nullptr) {
+    exhaust(job, std::move(done));
+    return;
+  }
+
+  ++stats_.measurements_started;
+  auto attempt = std::make_shared<AttemptState>();
+  if (!supervision_.deadline.is_zero()) {
+    attempt->timer = sim_.schedule_in(
+        supervision_.deadline, [this, job, sensor, attempt, done] {
+          if (attempt->settled) return;
+          attempt->settled = true;
+          ++stats_.timeouts;
+          attempt_failed(job, sensor, done);
+        });
+  }
+  sensor->measure(
+      job->path, job->metric,
+      [this, job, sensor, attempt, done](MetricValue value) {
+        if (attempt->settled) {
+          // Completion after the deadline killed the attempt (or after a
+          // misbehaving sensor already reported): counted no-op.
+          ++stats_.late_completions;
           return;
         }
-        ++stats_.measurements_started;
-        sensor->measure(path, metric,
-                        [this, request, path, path_id, metric,
-                         done](MetricValue value) {
-                          job_finished(request, path, path_id, metric, value);
-                          done();
-                        });
+        attempt->settled = true;
+        attempt->timer.cancel();
+        if (!value.valid) {
+          attempt_failed(job, sensor, done);
+          return;
+        }
+        breaker_success(sensor, job->path_id);
+        if (job->sensor_index > 0) {
+          value.quality = SampleQuality::kFallback;
+        } else if (job->attempt > 0) {
+          value.quality = SampleQuality::kRetried;
+        }
+        job_finished(job->request, job->path, job->path_id, job->metric,
+                     value);
+        done();
       });
+}
+
+void SensorDirector::attempt_failed(const std::shared_ptr<Job>& job,
+                                    NetworkSensor* sensor,
+                                    TestSequencer::Done done) {
+  breaker_failure(sensor, job->path_id);
+  if (job->attempt < supervision_.max_retries) {
+    ++job->attempt;
+    ++stats_.retries;
+    // Release the sequencer slot for the duration of the backoff; the retry
+    // re-queues and competes for a slot like any other measurement.
+    done();
+    sim_.schedule_in(backoff_delay(*job),
+                     [this, job] { enqueue_job(job); });
+    return;
+  }
+  const auto& chain = chains_[static_cast<std::size_t>(job->metric)];
+  if (job->sensor_index + 1 < chain.size()) {
+    ++job->sensor_index;
+    job->attempt = 0;
+    ++stats_.fallbacks;
+    // Degrade immediately to the next sensor, reusing the held slot.
+    launch(job, std::move(done));
+    return;
+  }
+  exhaust(job, std::move(done));
+}
+
+void SensorDirector::exhaust(const std::shared_ptr<Job>& job,
+                             TestSequencer::Done done) {
+  ++stats_.exhausted;
+  const MetricValue failed = MetricValue::failed(sim_.now());
+  if (supervision_.report_stale_on_exhaustion) {
+    if (auto last = database_.last_known(job->path_id, job->metric)) {
+      // Re-report the last known good value, flagged stale, while the
+      // database records the failure (so senescence keeps advancing and
+      // last_known is not refreshed with old data).
+      MetricValue reported = last->value;
+      reported.quality = SampleQuality::kStale;
+      MetricValue recorded = failed;
+      recorded.quality = SampleQuality::kStale;
+      ++stats_.stale_reports;
+      job_finished(job->request, job->path, job->path_id, job->metric,
+                   reported, &recorded);
+      done();
+      return;
     }
+  }
+  job_finished(job->request, job->path, job->path_id, job->metric, failed);
+  done();
+}
+
+sim::Duration SensorDirector::backoff_delay(const Job& job) const {
+  std::int64_t ns = supervision_.backoff_base.nanos();
+  const std::int64_t cap =
+      std::max<std::int64_t>(ns, supervision_.backoff_max.nanos());
+  for (int i = 1; i < job.attempt && ns < cap; ++i) ns *= 2;
+  if (ns > cap) ns = cap;
+  // Deterministic jitter in [0, 25%) of the backoff, derived from the job
+  // identity so paths sharing a failure do not retry in lockstep — and two
+  // runs of the same scenario stay bit-identical.
+  std::uint64_t h = (std::uint64_t(job.path_id) << 16) ^
+                    (std::uint64_t(job.attempt) << 8) ^
+                    std::uint64_t(job.metric);
+  h *= 0x9E3779B97F4A7C15ull;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return sim::Duration::ns(ns + static_cast<std::int64_t>(h % 1024) * ns / 4096);
+}
+
+bool SensorDirector::breaker_admits(NetworkSensor* sensor, PathId path) {
+  if (supervision_.breaker_threshold <= 0) return true;
+  SensorHealth& h = health_[{sensor, path}];
+  switch (h.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (sim_.now() < h.open_until) return false;
+      h.state = BreakerState::kHalfOpen;
+      h.probe_in_flight = false;
+      [[fallthrough]];
+    case BreakerState::kHalfOpen:
+      if (h.probe_in_flight) return false;
+      h.probe_in_flight = true;
+      return true;
+  }
+  return true;
+}
+
+void SensorDirector::breaker_success(NetworkSensor* sensor, PathId path) {
+  if (supervision_.breaker_threshold <= 0) return;
+  SensorHealth& h = health_[{sensor, path}];
+  ++h.successes;
+  h.consecutive_failures = 0;
+  if (h.state != BreakerState::kClosed) {
+    NETMON_INFO("director", "breaker for ", sensor->name(), " on ",
+                database_.path_of(path).to_string(), " closed");
+    h.state = BreakerState::kClosed;
+  }
+  h.probe_in_flight = false;
+}
+
+void SensorDirector::breaker_failure(NetworkSensor* sensor, PathId path) {
+  if (supervision_.breaker_threshold <= 0) return;
+  SensorHealth& h = health_[{sensor, path}];
+  ++h.failures;
+  ++h.consecutive_failures;
+  const bool trip =
+      h.state == BreakerState::kHalfOpen ||
+      (h.state == BreakerState::kClosed &&
+       h.consecutive_failures >= supervision_.breaker_threshold);
+  if (trip) {
+    h.state = BreakerState::kOpen;
+    h.open_until = sim_.now() + supervision_.breaker_open_for;
+    h.probe_in_flight = false;
+    ++h.trips;
+    NETMON_WARN("director", "breaker for ", sensor->name(), " on ",
+                database_.path_of(path).to_string(), " opened (",
+                h.consecutive_failures, " consecutive failures)");
   }
 }
 
 void SensorDirector::job_finished(
     const std::shared_ptr<ActiveRequest>& request, const Path& path,
-    PathId path_id, Metric metric, MetricValue value) {
+    PathId path_id, Metric metric, const MetricValue& reported,
+    const MetricValue* recorded) {
   ++stats_.measurements_completed;
-  if (!value.valid) ++stats_.measurements_failed;
+  const MetricValue& to_record = recorded != nullptr ? *recorded : reported;
+  if (!to_record.valid) ++stats_.measurements_failed;
 
   if (!request->cancelled) {
     if (request->request.record_to_database) {
-      database_.record(path_id, metric, value);
+      database_.record(path_id, metric, to_record);
     }
-    PathMetricTuple tuple{path, metric, value};
+    PathMetricTuple tuple{path, metric, reported};
     if (request->request.reporting == MonitorRequest::Reporting::kSynchronous) {
       request->round_tuples.push_back(tuple);
     } else if (request->on_tuple) {

@@ -5,11 +5,24 @@
 // network sensors (through the test sequencer), records results in the
 // measurement database, and reports (path, metric) tuples back either
 // synchronously (batched per round) or asynchronously (per measurement).
+//
+// Supervision layer (DESIGN.md §9): every measurement runs under an optional
+// deadline (a sensor that never invokes `done` is timed out and its
+// sequencer slot reclaimed; a late completion degrades to a counted no-op),
+// failed or timed-out attempts are retried with capped exponential backoff
+// plus deterministic jitter, a per-(sensor, path) circuit breaker trips after
+// consecutive failures (with half-open probing to recover), and a registered
+// fallback sensor chain (e.g. NTTCP -> SNMP, the paper's §7 hybrid) degrades
+// fidelity gracefully. Every sample carries a SampleQuality flag. All
+// supervision features default OFF, in which case behavior (and event
+// scheduling) is identical to the unsupervised director.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/measurement_db.hpp"
@@ -58,6 +71,52 @@ struct MonitorRequest {
   bool record_to_database = true;
 };
 
+// Supervision of the measurement pipeline. The defaults disable everything,
+// reproducing the unsupervised director bit for bit.
+struct SupervisionConfig {
+  // Per-attempt deadline; a sensor that has not completed by then is timed
+  // out, its sequencer slot reclaimed, and the attempt counted failed.
+  // Zero disables the deadline.
+  sim::Duration deadline = sim::Duration::ns(0);
+
+  // Retries of a failed/timed-out attempt against the *same* sensor, with
+  // capped exponential backoff and deterministic jitter derived from
+  // (path, metric, attempt). Zero disables retries.
+  int max_retries = 0;
+  sim::Duration backoff_base = sim::Duration::ms(100);
+  sim::Duration backoff_max = sim::Duration::sec(5);
+
+  // Circuit breaker: after this many consecutive failures a sensor is
+  // skipped (the chain falls through to the next sensor) until
+  // `breaker_open_for` has elapsed; then a single half-open probe is
+  // admitted, and its outcome closes or re-opens the breaker.
+  // Scoped per (sensor, path) — the usual per-endpoint outlier rule — so a
+  // dead target cannot poison a sensor's standing on healthy paths, while a
+  // sensor-wide pathology (hang, crash) still trips every path's breaker
+  // within `breaker_threshold` attempts each.
+  // Zero disables the breaker.
+  int breaker_threshold = 0;
+  sim::Duration breaker_open_for = sim::Duration::sec(10);
+
+  // When the whole chain is exhausted, re-report the last known good value
+  // tagged SampleQuality::kStale (the database still records the failure).
+  bool report_stale_on_exhaustion = false;
+};
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+const char* to_string(BreakerState state);
+
+// Per-(sensor, path) health as seen by the supervision layer.
+struct SensorHealth {
+  BreakerState state = BreakerState::kClosed;
+  int consecutive_failures = 0;
+  sim::TimePoint open_until{};
+  bool probe_in_flight = false;  // half-open admits one probe at a time
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;  // includes timeouts
+  std::uint64_t trips = 0;     // closed/half-open -> open transitions
+};
+
 struct DirectorStats {
   std::uint64_t requests_accepted = 0;
   std::uint64_t measurements_started = 0;
@@ -65,6 +124,14 @@ struct DirectorStats {
   std::uint64_t measurements_failed = 0;  // completed with valid == false
   std::uint64_t tuples_reported = 0;
   std::uint64_t rounds_completed = 0;
+  // Supervision counters.
+  std::uint64_t timeouts = 0;          // attempts killed by the deadline
+  std::uint64_t late_completions = 0;  // done() after timeout: counted no-op
+  std::uint64_t retries = 0;           // backoff re-attempts scheduled
+  std::uint64_t fallbacks = 0;         // chain advanced to a fallback sensor
+  std::uint64_t breaker_skips = 0;     // sensors skipped with an open breaker
+  std::uint64_t exhausted = 0;         // jobs that ran out of sensors
+  std::uint64_t stale_reports = 0;     // last-known re-reports on exhaustion
 };
 
 class SensorDirector {
@@ -75,10 +142,29 @@ class SensorDirector {
   using RequestId = std::uint64_t;
 
   SensorDirector(sim::Simulator& sim, std::size_t max_concurrent = 1);
+  SensorDirector(sim::Simulator& sim, std::size_t max_concurrent,
+                 SupervisionConfig supervision);
 
-  // Sensor registration; the last sensor registered for a metric wins.
+  // Sensor registration; the last *primary* registered for a metric wins
+  // (and clears that metric's fallback chain). register_fallback appends to
+  // the chain; fallbacks are tried in registration order after the primary.
+  // Sensors are not owned: every registered sensor must outlive the
+  // director (destroy the director first — see HighFidelityMonitor).
   void register_sensor(Metric metric, NetworkSensor* sensor);
+  void register_fallback(Metric metric, NetworkSensor* sensor);
   NetworkSensor* sensor_for(Metric metric) const;
+  const std::vector<NetworkSensor*>& chain_for(Metric metric) const {
+    return chains_[static_cast<std::size_t>(metric)];
+  }
+
+  void set_supervision(SupervisionConfig supervision) {
+    supervision_ = supervision;
+  }
+  const SupervisionConfig& supervision() const { return supervision_; }
+  // Breaker state of a sensor on one path; nullptr if that pair was never
+  // exercised with the breaker enabled.
+  const SensorHealth* health(const NetworkSensor* sensor,
+                             const Path& path) const;
 
   // Resource-manager interface. Either callback may be null.
   RequestId submit(MonitorRequest request, TupleCallback on_tuple,
@@ -104,16 +190,41 @@ class SensorDirector {
     bool cancelled = false;
   };
 
+  // One (path, metric) measurement job, possibly spanning several attempts
+  // across several sensors of the chain.
+  struct Job {
+    std::shared_ptr<ActiveRequest> request;
+    Path path;
+    PathId path_id = kInvalidPathId;
+    Metric metric = Metric::kThroughput;
+    std::size_t sensor_index = 0;  // position in the fallback chain
+    int attempt = 0;               // retries consumed on the current sensor
+  };
+
   void start_round(std::shared_ptr<ActiveRequest> request);
+  void enqueue_job(std::shared_ptr<Job> job);
+  void launch(std::shared_ptr<Job> job, TestSequencer::Done done);
+  void attempt_failed(const std::shared_ptr<Job>& job, NetworkSensor* sensor,
+                      TestSequencer::Done done);
+  void exhaust(const std::shared_ptr<Job>& job, TestSequencer::Done done);
+  sim::Duration backoff_delay(const Job& job) const;
+
+  bool breaker_admits(NetworkSensor* sensor, PathId path);
+  void breaker_success(NetworkSensor* sensor, PathId path);
+  void breaker_failure(NetworkSensor* sensor, PathId path);
+
   void job_finished(const std::shared_ptr<ActiveRequest>& request,
                     const Path& path, PathId path_id, Metric metric,
-                    MetricValue value);
+                    const MetricValue& reported,
+                    const MetricValue* recorded = nullptr);
   void round_finished(const std::shared_ptr<ActiveRequest>& request);
 
   sim::Simulator& sim_;
   TestSequencer sequencer_;
   MeasurementDatabase database_;
-  std::array<NetworkSensor*, kMetricCount> sensors_{};
+  std::array<std::vector<NetworkSensor*>, kMetricCount> chains_{};
+  SupervisionConfig supervision_;
+  std::map<std::pair<const NetworkSensor*, PathId>, SensorHealth> health_;
   std::map<RequestId, std::shared_ptr<ActiveRequest>> requests_;
   RequestId next_id_ = 1;
   DirectorStats stats_;

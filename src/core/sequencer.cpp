@@ -4,6 +4,35 @@
 
 namespace netmon::core {
 
+// Shared between every copy of one task's Done callback: the first
+// invocation releases the slot, later ones are counted no-ops, and the
+// destructor of the last copy releases the slot if nobody ever called it.
+struct TestSequencer::DoneState {
+  TestSequencer* seq;
+  std::weak_ptr<int> guard;
+  bool called = false;
+
+  explicit DoneState(TestSequencer* s) : seq(s), guard(s->liveness_) {}
+  DoneState(const DoneState&) = delete;
+  DoneState& operator=(const DoneState&) = delete;
+
+  void invoke() {
+    if (guard.expired()) return;  // sequencer destroyed first
+    if (called) {
+      ++seq->double_dones_;
+      return;
+    }
+    called = true;
+    seq->finish(/*abandoned=*/false);
+  }
+
+  ~DoneState() {
+    if (called || guard.expired()) return;
+    called = true;
+    seq->finish(/*abandoned=*/true);
+  }
+};
+
 TestSequencer::TestSequencer(std::size_t max_concurrent)
     : max_concurrent_(max_concurrent) {
   if (max_concurrent_ == 0) {
@@ -24,18 +53,32 @@ void TestSequencer::enqueue(Task task) {
   pump();
 }
 
+void TestSequencer::finish(bool abandoned) {
+  --in_flight_;
+  if (abandoned) {
+    ++abandoned_;
+  } else {
+    ++completed_;
+  }
+  pump();
+}
+
 void TestSequencer::pump() {
+  // Trampoline: a task completing (or being abandoned) synchronously calls
+  // finish() -> pump() re-entrantly; the inner call returns immediately and
+  // the outer loop picks up the freed slot, so a long queue of synchronous
+  // tasks drains iteratively instead of one stack frame per task.
+  if (pumping_) return;
+  pumping_ = true;
   while (in_flight_ < max_concurrent_ && !queue_.empty()) {
     Task task = std::move(queue_.front());
     queue_.pop_front();
     ++in_flight_;
+    auto state = std::make_shared<DoneState>(this);
     // The Done callback may fire synchronously or much later; both are fine.
-    task([this] {
-      --in_flight_;
-      ++completed_;
-      pump();
-    });
+    task([state] { state->invoke(); });
   }
+  pumping_ = false;
 }
 
 }  // namespace netmon::core

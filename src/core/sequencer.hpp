@@ -4,11 +4,19 @@
 // once. max_concurrent = unlimited reproduces the intrusive all-paths-in-
 // parallel mode (peak overhead C·S·L/P); max_concurrent = 1 is the paper's
 // serial sequencer (peak overhead L/P, senescence C·S·T).
+//
+// Robustness contract: a task's Done may be invoked exactly once. The slot
+// accounting survives tasks that violate it anyway — a second invocation is
+// a counted no-op, and a task that destroys its Done without ever calling it
+// (a crashed or wedged sensor dropping its callback) releases the slot as
+// "abandoned" instead of leaking it. Done callbacks outliving the sequencer
+// itself degrade to no-ops.
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
+#include <memory>
 
 namespace netmon::core {
 
@@ -31,15 +39,27 @@ class TestSequencer {
   std::size_t in_flight() const { return in_flight_; }
   std::size_t queued() const { return queue_.size(); }
   std::uint64_t completed() const { return completed_; }
+  // Contract violations absorbed: extra Done invocations beyond the first,
+  // and slots reclaimed because every copy of a Done was destroyed uncalled.
+  std::uint64_t double_dones() const { return double_dones_; }
+  std::uint64_t abandoned() const { return abandoned_; }
   bool idle() const { return in_flight_ == 0 && queue_.empty(); }
 
  private:
+  struct DoneState;
+  void finish(bool abandoned);
   void pump();
 
   std::size_t max_concurrent_;
   std::size_t in_flight_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t double_dones_ = 0;
+  std::uint64_t abandoned_ = 0;
+  bool pumping_ = false;  // flattens re-entrant pumps into the outer loop
   std::deque<Task> queue_;
+  // Liveness token observed (weakly) by outstanding Done callbacks so a
+  // Done fired after the sequencer is gone cannot touch freed memory.
+  std::shared_ptr<int> liveness_ = std::make_shared<int>(0);
 };
 
 }  // namespace netmon::core

@@ -1,0 +1,76 @@
+#pragma once
+
+// Misbehaving-sensor wrapper for fault injection: decorates any
+// core::NetworkSensor with scripted pathologies — hang (hold the completion
+// callback forever, wedging a sequencer slot), never-done (drop the callback
+// uncalled), double-done (violate the exactly-once contract), stale-value
+// (replay old data with its original timestamp), outright failure, and
+// added latency. Used by fault::FaultInjector to exercise the supervision
+// layer (deadline, retry, breaker, fallback) deterministically.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sensor_director.hpp"
+#include "sim/simulator.hpp"
+
+namespace netmon::fault {
+
+class ChaosSensor : public core::NetworkSensor {
+ public:
+  enum class Mode : std::uint8_t {
+    kPassthrough,  // behave exactly like the wrapped sensor
+    kHang,         // start nothing and hold `done` forever (stuck slot)
+    kNeverDone,    // drop `done` without ever calling it
+    kDoubleDone,   // complete normally, then invoke done a second time
+    kStaleValue,   // replay the last good value with its original timestamp
+    kFail,         // report a failed measurement immediately
+    kDelay,        // run the wrapped sensor, then delay done by extra_delay
+  };
+
+  ChaosSensor(sim::Simulator& sim, core::NetworkSensor& inner)
+      : sim_(sim), inner_(inner) {}
+
+  std::string name() const override { return "chaos(" + inner_.name() + ")"; }
+  bool supports(core::Metric metric) const override {
+    return inner_.supports(metric);
+  }
+  void measure(const core::Path& path, core::Metric metric,
+               Done done) override;
+
+  void set_mode(Mode mode) { mode_ = mode; }
+  Mode mode() const { return mode_; }
+  void set_extra_delay(sim::Duration delay) { extra_delay_ = delay; }
+
+  struct Stats {
+    std::uint64_t intercepted = 0;     // measure() calls seen
+    std::uint64_t hangs = 0;           // callbacks held forever
+    std::uint64_t dropped_dones = 0;   // callbacks destroyed uncalled
+    std::uint64_t double_dones = 0;    // second invocations injected
+    std::uint64_t stale_served = 0;    // old values replayed
+    std::uint64_t failures_injected = 0;
+    std::uint64_t delayed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  std::size_t held_callbacks() const { return held_.size(); }
+  core::NetworkSensor& inner() { return inner_; }
+
+  static const char* to_string(Mode mode);
+
+ private:
+  void remember(const core::Path& path, core::Metric metric,
+                const core::MetricValue& value);
+
+  sim::Simulator& sim_;
+  core::NetworkSensor& inner_;
+  Mode mode_ = Mode::kPassthrough;
+  sim::Duration extra_delay_ = sim::Duration::ms(50);
+  std::vector<Done> held_;  // kHang parks callbacks here, forever
+  std::map<std::pair<core::Path, core::Metric>, core::MetricValue> last_good_;
+  Stats stats_;
+};
+
+}  // namespace netmon::fault

@@ -1,0 +1,52 @@
+#include "fault/fault_plan.hpp"
+
+#include <sstream>
+
+namespace netmon::fault {
+
+namespace {
+
+struct Describer {
+  std::string operator()(const LinkDown& f) const {
+    return "link " + f.link + " down";
+  }
+  std::string operator()(const LinkUp& f) const {
+    return "link " + f.link + " up";
+  }
+  std::string operator()(const LinkFlap& f) const {
+    std::ostringstream os;
+    os << "link " << f.link << " flap x" << f.cycles << " (down "
+       << f.down_for.to_string() << ", up " << f.up_for.to_string() << ")";
+    return os.str();
+  }
+  std::string operator()(const HostCrash& f) const {
+    return "host " + f.host + " crash";
+  }
+  std::string operator()(const HostRestart& f) const {
+    return "host " + f.host + " restart";
+  }
+  std::string operator()(const PacketChaos& f) const {
+    std::ostringstream os;
+    os << "packet chaos on " << f.medium << " for "
+       << f.duration.to_string() << " (drop " << f.drop_probability
+       << ", corrupt " << f.corrupt_probability;
+    if (!f.extra_delay.is_zero()) os << ", delay " << f.extra_delay.to_string();
+    os << ")";
+    return os.str();
+  }
+  std::string operator()(const ClockStep& f) const {
+    return "clock step on " + f.host + " by " + f.delta.to_string();
+  }
+  std::string operator()(const SensorMode& f) const {
+    return std::string("sensor ") + f.sensor + " -> " +
+           ChaosSensor::to_string(f.mode);
+  }
+};
+
+}  // namespace
+
+std::string describe(const FaultAction& action) {
+  return std::visit(Describer{}, action);
+}
+
+}  // namespace netmon::fault

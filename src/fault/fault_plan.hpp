@@ -1,0 +1,128 @@
+#pragma once
+
+// Declarative fault scenarios. A FaultPlan is a seed plus a schedule of
+// TimedFault entries — link outages and flaps, host crash/restart, windowed
+// packet loss/corruption/delay on any medium, clock steps, and
+// misbehaving-sensor mode switches. Plans are plain data: build one, hand it
+// to a FaultInjector, and the same plan against the same topology and seed
+// replays the identical chaos run event for event.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "fault/chaos_sensor.hpp"
+#include "sim/time.hpp"
+
+namespace netmon::fault {
+
+struct LinkDown {
+  std::string link;
+};
+
+struct LinkUp {
+  std::string link;
+};
+
+// Repeated outage: starting at the scheduled time the link goes down for
+// `down_for`, comes back for `up_for`, `cycles` times over.
+struct LinkFlap {
+  std::string link;
+  int cycles = 3;
+  sim::Duration down_for;
+  sim::Duration up_for;
+};
+
+struct HostCrash {
+  std::string host;
+};
+
+struct HostRestart {
+  std::string host;
+};
+
+// Windowed stochastic packet chaos on a registered medium (link or shared
+// segment): for `duration` each frame is independently dropped with
+// drop_probability, else corrupted with corrupt_probability, else delivered
+// `extra_delay` late. Randomness comes from a child stream forked off the
+// plan seed in plan order, so runs are reproducible.
+struct PacketChaos {
+  std::string medium;
+  sim::Duration duration;
+  double drop_probability = 0.0;
+  double corrupt_probability = 0.0;
+  sim::Duration extra_delay{};
+};
+
+// Step a host's real-time clock by `delta` (positive or negative) —
+// exercises timestamp-sensitive consumers like senescence and one-way
+// latency.
+struct ClockStep {
+  std::string host;
+  sim::Duration delta;
+};
+
+// Switch a registered ChaosSensor into a pathology (or back to
+// passthrough).
+struct SensorMode {
+  std::string sensor;
+  ChaosSensor::Mode mode = ChaosSensor::Mode::kPassthrough;
+};
+
+using FaultAction = std::variant<LinkDown, LinkUp, LinkFlap, HostCrash,
+                                 HostRestart, PacketChaos, ClockStep,
+                                 SensorMode>;
+
+// One-line human-readable description, used for the injector's fault log.
+std::string describe(const FaultAction& action);
+
+struct TimedFault {
+  sim::Duration at;  // relative to the time the plan is armed
+  FaultAction action;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;  // drives every stochastic chaos window
+  std::vector<TimedFault> faults;
+
+  FaultPlan& add(sim::Duration at, FaultAction action) {
+    faults.push_back(TimedFault{at, std::move(action)});
+    return *this;
+  }
+
+  // Fluent builders.
+  FaultPlan& link_down(sim::Duration at, std::string link) {
+    return add(at, LinkDown{std::move(link)});
+  }
+  FaultPlan& link_up(sim::Duration at, std::string link) {
+    return add(at, LinkUp{std::move(link)});
+  }
+  FaultPlan& link_flap(sim::Duration at, std::string link, int cycles,
+                       sim::Duration down_for, sim::Duration up_for) {
+    return add(at, LinkFlap{std::move(link), cycles, down_for, up_for});
+  }
+  FaultPlan& host_crash(sim::Duration at, std::string host) {
+    return add(at, HostCrash{std::move(host)});
+  }
+  FaultPlan& host_restart(sim::Duration at, std::string host) {
+    return add(at, HostRestart{std::move(host)});
+  }
+  FaultPlan& packet_chaos(sim::Duration at, std::string medium,
+                          sim::Duration duration, double drop_probability,
+                          double corrupt_probability = 0.0,
+                          sim::Duration extra_delay = {}) {
+    return add(at, PacketChaos{std::move(medium), duration, drop_probability,
+                               corrupt_probability, extra_delay});
+  }
+  FaultPlan& clock_step(sim::Duration at, std::string host,
+                        sim::Duration delta) {
+    return add(at, ClockStep{std::move(host), delta});
+  }
+  FaultPlan& sensor_mode(sim::Duration at, std::string sensor,
+                         ChaosSensor::Mode mode) {
+    return add(at, SensorMode{std::move(sensor), mode});
+  }
+};
+
+}  // namespace netmon::fault

@@ -94,10 +94,19 @@ void ResourceManager::on_tuple(const std::string& app_name,
   AppState& state = it->second;
   ++tuples_consumed_;
 
+  const core::SampleQuality quality = tuple.value.quality;
+  if (quality != core::SampleQuality::kFresh) ++degraded_tuples_;
+  if (quality == core::SampleQuality::kStale) ++stale_tuples_;
+  // A stale tuple is old data re-reported because the monitor could not
+  // measure the path at all — weigh it as evidence of failure, never as a
+  // passing sample.
+  const bool stale_bad =
+      config_.stale_is_bad && quality == core::SampleQuality::kStale;
+
   const net::IpAddr server = tuple.path.source().host;
   const net::IpAddr client = tuple.path.destination().host;
   int& strikes = state.strikes[{server, client}];
-  if (tuple_is_bad(state.app.requirements, tuple)) {
+  if (stale_bad || tuple_is_bad(state.app.requirements, tuple)) {
     ++strikes;
   } else if (tuple.metric == core::Metric::kReachability ||
              tuple.metric == core::Metric::kThroughput) {
@@ -149,6 +158,16 @@ void ResourceManager::maybe_reconfigure(AppState& state) {
   if (!replacement) {
     NETMON_WARN("mgr", state.app.name,
                 ": active server degraded but no replacement available");
+    return;
+  }
+  // A replacement that looks no healthier than the server we would leave is
+  // not a reconfiguration, it is thrashing: under a monitor-wide outage
+  // (every path striking) the pool members ping-pong forever. Hold position
+  // until some member is observably better.
+  if (failing_fraction(state.app.name, *replacement) >= fraction) {
+    NETMON_WARN("mgr", state.app.name,
+                ": active server degraded but no healthier replacement; "
+                "holding position");
     return;
   }
   const net::IpAddr old_server = state.active;

@@ -53,6 +53,11 @@ class ResourceManager {
     // The active server is failed when at least this fraction of its
     // client paths are failed.
     double failure_fraction = 0.5;
+    // Quality weighing (DESIGN.md §9): a SampleQuality::kStale tuple is a
+    // re-report of old data after the sensor chain was exhausted — by
+    // default it strikes the path like a failed sample instead of clearing
+    // strikes like the good sample it superficially resembles.
+    bool stale_is_bad = true;
   };
 
   using ReconfigCallback = std::function<void(const ReconfigurationEvent&)>;
@@ -75,12 +80,11 @@ class ResourceManager {
 
   std::uint64_t tuples_consumed() const { return tuples_consumed_; }
   std::uint64_t reconfigurations() const { return reconfigurations_; }
+  // Tuples consumed whose quality was degraded (retried/fallback/stale).
+  std::uint64_t degraded_tuples() const { return degraded_tuples_; }
+  std::uint64_t stale_tuples() const { return stale_tuples_; }
 
  private:
-  struct PathHealth {
-    int consecutive_failures = 0;
-    bool failed() const { return consecutive_failures >= 0; }  // see config
-  };
   struct AppState {
     ManagedApplication app;
     net::IpAddr active;
@@ -103,6 +107,8 @@ class ResourceManager {
   std::map<std::string, AppState> apps_;
   std::uint64_t tuples_consumed_ = 0;
   std::uint64_t reconfigurations_ = 0;
+  std::uint64_t degraded_tuples_ = 0;
+  std::uint64_t stale_tuples_ = 0;
 };
 
 }  // namespace netmon::mgr

@@ -72,7 +72,13 @@ void Link::try_transmit(int dir) {
     octets_carried_ += f.size_bytes();
     try_transmit(dir);
   });
-  sim_.schedule_in(serialization + propagation_, [this, dir, gen, f = *frame] {
+  // Fault injection (scripted loss/corruption/delay windows): the frame
+  // still occupied the link for its serialization time; it is lost, damaged,
+  // or late in transit.
+  const FaultVerdict verdict = apply_fault_hook(*frame);
+  if (verdict.drop || verdict.corrupt) return;
+  sim_.schedule_in(serialization + propagation_ + verdict.extra_delay,
+                   [this, dir, gen, f = *frame] {
     if (gen != generation_) {
       ++frames_dropped_down_;
       return;

@@ -103,6 +103,27 @@ class Nic {
   NicCounters counters_;
 };
 
+// Fault-injection verdict for one frame, returned by a medium's FaultHook
+// (fault::FaultInjector installs these to run scripted loss / corruption /
+// delay windows). The frame still occupies the medium for its serialization
+// time either way — a lost frame was transmitted, then lost in transit.
+struct FaultVerdict {
+  bool drop = false;         // lose the frame silently in transit
+  bool corrupt = false;      // arrives damaged; fails CRC and is discarded
+  sim::Duration extra_delay{};  // added to the propagation delay
+};
+
+// Per-frame fault hook consulted by Link and SharedSegment when scheduling
+// delivery. Must be deterministic for a given run (seeded RNG inside).
+using FaultHook = std::function<FaultVerdict(const Frame&)>;
+
+// Medium-side fault counters, common to Link and SharedSegment.
+struct MediumFaultStats {
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_corrupted = 0;
+  std::uint64_t frames_delayed = 0;
+};
+
 // A transmission medium connecting interfaces.
 class Medium {
  public:
@@ -114,6 +135,31 @@ class Medium {
   virtual double bandwidth_bps() const = 0;
   // Interfaces attached to this medium (topology introspection).
   virtual std::vector<Nic*> attached_nics() const = 0;
+
+  // Fault-injection hook; nullptr (the default) means no faults.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  const MediumFaultStats& fault_stats() const { return fault_stats_; }
+
+ protected:
+  // Applies the hook to a frame about to be delivered. Returns the verdict
+  // and maintains the fault counters.
+  FaultVerdict apply_fault_hook(const Frame& frame) {
+    FaultVerdict v;
+    if (fault_hook_) v = fault_hook_(frame);
+    if (v.drop) {
+      ++fault_stats_.frames_dropped;
+    } else if (v.corrupt) {
+      ++fault_stats_.frames_corrupted;
+    } else if (!v.extra_delay.is_zero()) {
+      ++fault_stats_.frames_delayed;
+    }
+    return v;
+  }
+  bool has_fault_hook() const { return static_cast<bool>(fault_hook_); }
+
+ private:
+  FaultHook fault_hook_;
+  MediumFaultStats fault_stats_;
 };
 
 }  // namespace netmon::net

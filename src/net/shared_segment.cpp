@@ -135,13 +135,18 @@ void SharedSegment::start_transmission(Nic& nic) {
 
   nic.note_transmitted(*frame);
 
-  const auto delivery = serialization + propagation_;
-  Nic* sender = &nic;
-  sim_.schedule_in(delivery, [this, sender, f = *frame] {
-    for (Nic* peer : nics_) {
-      if (peer != sender) peer->deliver(f);
-    }
-  });
+  // Fault injection: a dropped or corrupted frame jammed the medium for its
+  // serialization time but no station receives it.
+  const FaultVerdict verdict = apply_fault_hook(*frame);
+  if (!verdict.drop && !verdict.corrupt) {
+    const auto delivery = serialization + propagation_ + verdict.extra_delay;
+    Nic* sender = &nic;
+    sim_.schedule_in(delivery, [this, sender, f = *frame] {
+      for (Nic* peer : nics_) {
+        if (peer != sender) peer->deliver(f);
+      }
+    });
+  }
   schedule_contention_check(busy_until_);
 }
 

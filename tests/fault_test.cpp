@@ -1,0 +1,398 @@
+// Fault-injection engine tests: injector unit behavior (link flaps, packet
+// chaos windows, clock steps, sensor mode switches, arm-time validation) and
+// the deterministic chaos soak — link flaps + active-server crash + a
+// permanently hung sensor, with the supervision layer keeping the monitor
+// alive and the resource manager failing over within bounded time. Two runs
+// with the same seed must produce identical traces.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "apps/testbed.hpp"
+#include "core/scalable_monitor.hpp"
+#include "fault/chaos_sensor.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "manager/resource_manager.hpp"
+#include "sim/simulator.hpp"
+
+namespace netmon::fault {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+net::Link& link_named(net::Network& network, const std::string& name) {
+  for (const auto& link : network.links()) {
+    if (link->name() == name) return *link;
+  }
+  throw std::runtime_error("no link " + name);
+}
+
+// --- injector units ----------------------------------------------------------
+
+TEST(FaultInjector, ArmRejectsUnknownTargets) {
+  sim::Simulator sim;
+  FaultInjector injector(sim);
+  FaultPlan plan;
+  plan.link_down(Duration::sec(1), "no-such-link");
+  EXPECT_THROW(injector.arm(plan), std::invalid_argument);
+  // Nothing was scheduled: the simulator drains immediately.
+  sim.run();
+  EXPECT_TRUE(injector.log().empty());
+  EXPECT_EQ(injector.stats().faults_applied, 0u);
+}
+
+TEST(FaultInjector, ArmRejectsBadProbability) {
+  sim::Simulator sim;
+  apps::TestbedOptions options;
+  options.servers = 1;
+  options.clients = 1;
+  apps::Testbed bed(sim, options);
+  FaultInjector injector(sim);
+  net::Link& link = link_named(bed.network(), "server0<->backbone");
+  injector.register_link(link.name(), link);
+  FaultPlan plan;
+  plan.packet_chaos(Duration::sec(1), link.name(), Duration::sec(1), 1.5);
+  EXPECT_THROW(injector.arm(plan), std::invalid_argument);
+}
+
+TEST(FaultInjector, LinkFlapTogglesLinkOnSchedule) {
+  sim::Simulator sim;
+  apps::TestbedOptions options;
+  options.servers = 1;
+  options.clients = 1;
+  apps::Testbed bed(sim, options);
+  net::Link& link = link_named(bed.network(), "client0<->backbone");
+
+  FaultInjector injector(sim);
+  injector.register_link(link.name(), link);
+  FaultPlan plan;
+  plan.link_flap(Duration::sec(1), link.name(), /*cycles=*/2,
+                 /*down_for=*/Duration::ms(400), /*up_for=*/Duration::ms(600));
+  injector.arm(plan);
+
+  sim.run_until(TimePoint::from_nanos(Duration::ms(1200).nanos()));
+  EXPECT_FALSE(link.up());  // inside the second down window (2.0s..2.4s)?
+  sim.run_until(TimePoint::from_nanos(Duration::ms(2200).nanos()));
+  EXPECT_FALSE(link.up());  // second cycle's down window
+  sim.run_until(TimePoint::from_nanos(Duration::sec(5).nanos()));
+  EXPECT_TRUE(link.up());  // plan over, link restored
+
+  EXPECT_EQ(injector.stats().faults_applied, 1u);
+  EXPECT_EQ(injector.stats().link_transitions, 4u);  // 2 downs + 2 ups
+  // Log: the flap announcement plus every transition, in time order.
+  ASSERT_EQ(injector.log().size(), 5u);
+  for (std::size_t i = 1; i < injector.log().size(); ++i) {
+    EXPECT_GE(injector.log()[i].at.nanos(), injector.log()[i - 1].at.nanos());
+  }
+}
+
+TEST(FaultInjector, PacketChaosWindowDropsFrames) {
+  sim::Simulator sim;
+  apps::TestbedOptions options;
+  options.servers = 1;
+  options.clients = 1;
+  apps::Testbed bed(sim, options);
+
+  core::ScalableMonitor::Config cfg;
+  cfg.manager.timeout = Duration::ms(200);
+  cfg.manager.retries = 0;
+  core::ScalableMonitor monitor(bed.network(), bed.station(), cfg);
+
+  net::Link& link = link_named(bed.network(), "server0<->backbone");
+  FaultInjector injector(sim);
+  injector.register_link(link.name(), link);
+  FaultPlan plan;
+  plan.seed = 99;
+  // Total loss on the server's link from 2s to 5s.
+  plan.packet_chaos(Duration::sec(2), link.name(), Duration::sec(3),
+                    /*drop=*/1.0);
+  injector.arm(plan);
+
+  core::MonitorRequest request;
+  request.paths.push_back(
+      core::PathRequest{bed.path(0, 0), {core::Metric::kReachability}});
+  request.mode = core::MonitorRequest::Mode::kPeriodic;
+  request.period = Duration::ms(500);
+  int good = 0, bad = 0;
+  monitor.director().submit(request, [&](const core::PathMetricTuple& t) {
+    (t.value.valid && t.value.value > 0.5) ? ++good : ++bad;
+  });
+  sim.run_until(TimePoint::from_nanos(Duration::sec(8).nanos()));
+
+  // Polls inside the window lost their frames and timed out; polls outside
+  // went through.
+  EXPECT_GT(good, 0);
+  EXPECT_GT(bad, 0);
+  EXPECT_GT(link.fault_stats().frames_dropped, 0u);
+  EXPECT_EQ(injector.frame_stats().frames_dropped,
+            link.fault_stats().frames_dropped);
+  EXPECT_EQ(injector.stats().chaos_windows, 1u);
+  // Window open and close both made the log.
+  ASSERT_EQ(injector.log().size(), 2u);
+  EXPECT_EQ(injector.log()[1].at.nanos(), Duration::sec(5).nanos());
+  // After the window the hook is gone: later frames are untouched.
+  const auto dropped_at_close = injector.frame_stats().frames_dropped;
+  sim.run_until(TimePoint::from_nanos(Duration::sec(10).nanos()));
+  EXPECT_EQ(injector.frame_stats().frames_dropped, dropped_at_close);
+}
+
+TEST(FaultInjector, ClockStepAdjustsHostClock) {
+  sim::Simulator sim;
+  apps::TestbedOptions options;
+  options.servers = 1;
+  options.clients = 1;
+  apps::Testbed bed(sim, options);
+
+  FaultInjector injector(sim);
+  injector.register_host("server0", bed.server(0));
+  const auto before = bed.server(0).clock().configured_offset();
+
+  FaultPlan plan;
+  plan.clock_step(Duration::sec(1), "server0", Duration::ms(500));
+  injector.arm(plan);
+  sim.run();
+
+  const auto after = bed.server(0).clock().configured_offset();
+  EXPECT_EQ((after - before).nanos(), Duration::ms(500).nanos());
+  EXPECT_EQ(injector.stats().clock_steps, 1u);
+}
+
+TEST(FaultInjector, HostCrashAndRestart) {
+  sim::Simulator sim;
+  apps::TestbedOptions options;
+  options.servers = 1;
+  options.clients = 1;
+  apps::Testbed bed(sim, options);
+
+  FaultInjector injector(sim);
+  injector.register_host("server0", bed.server(0));
+  FaultPlan plan;
+  plan.host_crash(Duration::sec(1), "server0");
+  plan.host_restart(Duration::sec(3), "server0");
+  injector.arm(plan);
+
+  sim.run_until(TimePoint::from_nanos(Duration::sec(2).nanos()));
+  EXPECT_FALSE(bed.server(0).up());
+  sim.run_until(TimePoint::from_nanos(Duration::sec(4).nanos()));
+  EXPECT_TRUE(bed.server(0).up());
+  EXPECT_EQ(injector.stats().host_transitions, 2u);
+}
+
+// --- chaos sensor ------------------------------------------------------------
+
+TEST(ChaosSensor, ModesInjectTheirPathologies) {
+  sim::Simulator sim;
+  class Const : public core::NetworkSensor {
+   public:
+    explicit Const(sim::Simulator& sim) : sim_(sim) {}
+    std::string name() const override { return "const"; }
+    bool supports(core::Metric) const override { return true; }
+    void measure(const core::Path&, core::Metric, Done done) override {
+      done(core::MetricValue::of(5.0, sim_.now()));
+    }
+   private:
+    sim::Simulator& sim_;
+  } inner(sim);
+  ChaosSensor chaos(sim, inner);
+  const core::Path p(
+      core::ProcessEndpoint{"a", net::IpAddr(10, 0, 0, 1), 1},
+      core::ProcessEndpoint{"b", net::IpAddr(10, 0, 0, 2), 1});
+
+  int calls = 0;
+  core::MetricValue last;
+  auto capture = [&](core::MetricValue v) {
+    ++calls;
+    last = v;
+  };
+
+  chaos.measure(p, core::Metric::kThroughput, capture);  // passthrough
+  EXPECT_EQ(calls, 1);
+  EXPECT_DOUBLE_EQ(last.value, 5.0);
+  const auto seen_at = last.measured_at;
+
+  chaos.set_mode(ChaosSensor::Mode::kFail);
+  chaos.measure(p, core::Metric::kThroughput, capture);
+  EXPECT_EQ(calls, 2);
+  EXPECT_FALSE(last.valid);
+
+  chaos.set_mode(ChaosSensor::Mode::kStaleValue);
+  sim.run_for(Duration::sec(5));
+  chaos.measure(p, core::Metric::kThroughput, capture);
+  EXPECT_EQ(calls, 3);
+  EXPECT_TRUE(last.valid);
+  EXPECT_DOUBLE_EQ(last.value, 5.0);
+  // The lie is detectable: the timestamp never advanced.
+  EXPECT_EQ(last.measured_at.nanos(), seen_at.nanos());
+
+  chaos.set_mode(ChaosSensor::Mode::kHang);
+  chaos.measure(p, core::Metric::kThroughput, capture);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(chaos.held_callbacks(), 1u);
+
+  chaos.set_mode(ChaosSensor::Mode::kDoubleDone);
+  chaos.measure(p, core::Metric::kThroughput, capture);
+  EXPECT_EQ(calls, 5);  // invoked twice
+
+  EXPECT_EQ(chaos.stats().intercepted, 5u);
+  EXPECT_EQ(chaos.stats().hangs, 1u);
+  EXPECT_EQ(chaos.stats().double_dones, 1u);
+  EXPECT_EQ(chaos.stats().stale_served, 1u);
+  EXPECT_EQ(chaos.stats().failures_injected, 1u);
+}
+
+// --- deterministic chaos soak ------------------------------------------------
+
+struct SoakResult {
+  std::string trace;
+  std::uint64_t tuples_mid = 0;
+  std::uint64_t tuples_end = 0;
+  std::uint64_t reconfigurations = 0;
+  std::int64_t reconfig_at_ns = -1;
+  bool failed_over_to_server1 = false;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t hangs = 0;
+  std::size_t queued_at_end = 0;
+};
+
+SoakResult run_soak(std::uint64_t seed) {
+  sim::Simulator sim;
+  apps::TestbedOptions options;
+  options.servers = 2;
+  options.clients = 2;
+  options.seed = seed;
+  apps::Testbed bed(sim, options);
+
+  core::ScalableMonitor::Config cfg;
+  cfg.manager.timeout = Duration::ms(250);
+  cfg.manager.retries = 1;
+  cfg.supervision.deadline = Duration::sec(2);
+  cfg.supervision.max_retries = 1;
+  cfg.supervision.backoff_base = Duration::ms(100);
+  cfg.supervision.breaker_threshold = 3;
+  cfg.supervision.breaker_open_for = Duration::sec(8);
+  core::ScalableMonitor monitor(bed.network(), bed.station(), cfg);
+
+  // Chaos-wrapped SNMP sensor as the primary, the raw sensor as fallback.
+  ChaosSensor chaos(sim, monitor.sensor());
+  monitor.director().register_sensor(core::Metric::kReachability, &chaos);
+  monitor.director().register_fallback(core::Metric::kReachability,
+                                       &monitor.sensor());
+
+  mgr::ResourceManager::Config rm_cfg;
+  rm_cfg.mode = core::MonitorRequest::Mode::kPeriodic;
+  rm_cfg.period = Duration::sec(1);
+  rm_cfg.metrics = {core::Metric::kReachability};
+  rm_cfg.strikes = 2;
+  rm_cfg.failure_fraction = 0.5;
+  mgr::ResourceManager manager(monitor.director(), rm_cfg);
+
+  SoakResult result;
+  std::ostringstream trace;
+  manager.set_reconfiguration_callback(
+      [&](const mgr::ReconfigurationEvent& e) {
+        trace << "reconfig t=" << e.at.nanos() << " "
+              << e.old_server.to_string() << "->" << e.new_server.to_string()
+              << "\n";
+        if (result.reconfig_at_ns < 0) result.reconfig_at_ns = e.at.nanos();
+      });
+
+  FaultInjector injector(sim);
+  for (const auto& link : bed.network().links()) {
+    injector.register_link(link->name(), *link);
+  }
+  injector.register_host("server0", bed.server(0));
+  injector.register_sensor("primary", chaos);
+
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.link_flap(Duration::sec(3), "client0<->backbone", /*cycles=*/2,
+                 Duration::ms(400), Duration::ms(400));
+  plan.host_crash(Duration::sec(10), "server0");
+  plan.sensor_mode(Duration::sec(20), "primary", ChaosSensor::Mode::kHang);
+  injector.arm(plan);
+
+  mgr::ManagedApplication app;
+  app.name = "rtds";
+  app.server_pool = {bed.server_ip(0), bed.server_ip(1)};
+  app.client_pool = {bed.client_ip(0), bed.client_ip(1)};
+  app.port = 5000;
+  manager.manage(app, bed.server_ip(0));
+
+  sim.run_until(TimePoint::from_nanos(Duration::sec(25).nanos()));
+  result.tuples_mid = monitor.director().stats().tuples_reported;
+  sim.run_until(TimePoint::from_nanos(Duration::sec(40).nanos()));
+  result.tuples_end = monitor.director().stats().tuples_reported;
+
+  result.reconfigurations = manager.reconfigurations();
+  result.failed_over_to_server1 =
+      manager.active_server("rtds") == bed.server_ip(1);
+  const core::DirectorStats& stats = monitor.director().stats();
+  result.timeouts = stats.timeouts;
+  result.fallbacks = stats.fallbacks;
+  result.hangs = chaos.stats().hangs;
+  result.queued_at_end = monitor.director().sequencer().queued();
+
+  // Full run trace: every injected fault with its timestamp, the
+  // supervision counters, and the manager's view. Any nondeterminism
+  // anywhere in the stack shows up here.
+  for (const FaultInjector::FaultRecord& record : injector.log()) {
+    trace << "fault t=" << record.at.nanos() << " " << record.description
+          << "\n";
+  }
+  trace << "stats started=" << stats.measurements_started
+        << " completed=" << stats.measurements_completed
+        << " failed=" << stats.measurements_failed
+        << " tuples=" << stats.tuples_reported
+        << " timeouts=" << stats.timeouts << " late=" << stats.late_completions
+        << " retries=" << stats.retries << " fallbacks=" << stats.fallbacks
+        << " skips=" << stats.breaker_skips << " exhausted=" << stats.exhausted
+        << "\n";
+  trace << "seq completed=" << monitor.director().sequencer().completed()
+        << " abandoned=" << monitor.director().sequencer().abandoned()
+        << " double=" << monitor.director().sequencer().double_dones() << "\n";
+  trace << "mgr tuples=" << manager.tuples_consumed()
+        << " degraded=" << manager.degraded_tuples()
+        << " stale=" << manager.stale_tuples()
+        << " reconfigs=" << manager.reconfigurations() << "\n";
+  trace << "db records=" << monitor.database().records_written() << "\n";
+  result.trace = trace.str();
+  return result;
+}
+
+TEST(ChaosSoak, SupervisedMonitorSurvivesScriptedChaos) {
+  const SoakResult result = run_soak(1234);
+
+  // The active server crashed at t=10s; the manager must fail over to the
+  // replica within a bounded number of rounds (well before t=18s here).
+  EXPECT_EQ(result.reconfigurations, 1u);
+  EXPECT_TRUE(result.failed_over_to_server1);
+  ASSERT_GE(result.reconfig_at_ns, 0);
+  EXPECT_GT(result.reconfig_at_ns, Duration::sec(10).nanos());
+  EXPECT_LT(result.reconfig_at_ns, Duration::sec(18).nanos());
+
+  // The permanently hung sensor (from t=20s) wedged real slots...
+  EXPECT_GT(result.hangs, 0u);
+  EXPECT_GT(result.timeouts, 0u);
+  // ...but the deadline reclaimed them and the chain degraded to the
+  // fallback: tuples kept flowing to the very end.
+  EXPECT_GT(result.fallbacks, 0u);
+  EXPECT_GT(result.tuples_end, result.tuples_mid + 10);
+  // No unbounded backlog behind the hung sensor.
+  EXPECT_LT(result.queued_at_end, 16u);
+}
+
+TEST(ChaosSoak, SameSeedSameTrace) {
+  const SoakResult a = run_soak(777);
+  const SoakResult b = run_soak(777);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.tuples_end, b.tuples_end);
+  EXPECT_EQ(a.reconfig_at_ns, b.reconfig_at_ns);
+}
+
+}  // namespace
+}  // namespace netmon::fault

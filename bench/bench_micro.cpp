@@ -10,6 +10,7 @@
 #include "core/measurement_db.hpp"
 #include "net/topology.hpp"
 #include "net/udp.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "snmp/mib.hpp"
 #include "snmp/mib2.hpp"
@@ -34,6 +35,27 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+// Same workload with the self-observability registry attached: the pair
+// quantifies the instrumentation overhead on the hottest path (budget <5%;
+// sampled histograms + counter increments — see src/obs/metrics.hpp).
+void BM_EventQueueScheduleRunObserved(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  obs::Registry registry;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.attach_observability(registry, "sim");
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_in(sim::Duration::us((i * 37) % 1000 + 1),
+                      [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRunObserved)->Arg(1000)->Arg(100000);
 
 void BM_PeriodicTimerChain(benchmark::State& state) {
   for (auto _ : state) {
@@ -186,6 +208,32 @@ void BM_MeasurementDbWorkingSetById(benchmark::State& state) {
                           core::kMetricCount);
 }
 BENCHMARK(BM_MeasurementDbWorkingSetById);
+
+// Observed twin of the PathId working set: senescence accounting (interval
+// histograms + per-read age) rides along on every record/current.
+void BM_MeasurementDbWorkingSetByIdObserved(benchmark::State& state) {
+  const auto paths = sample_paths();
+  obs::Registry registry;
+  core::MeasurementDatabase db;
+  db.attach_observability(registry, "db");
+  std::vector<core::PathId> ids;
+  for (const core::Path& p : paths) ids.push_back(db.id_of(p));
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (const core::PathId id : ids) {
+      for (std::size_t m = 0; m < core::kMetricCount; ++m) {
+        const auto metric = static_cast<core::Metric>(m);
+        const auto now = sim::TimePoint::from_nanos(++t);
+        db.record(id, metric, core::MetricValue::of(1.0, now));
+        auto cur = db.current(id, metric, now, sim::Duration::sec(1));
+        benchmark::DoNotOptimize(cur);
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size() *
+                          core::kMetricCount);
+}
+BENCHMARK(BM_MeasurementDbWorkingSetByIdObserved);
 
 void BM_SimulatedUdpRoundTrip(benchmark::State& state) {
   for (auto _ : state) {

@@ -5,7 +5,12 @@
 // manager fails the RTDS over to the replica. Re-run it with the same seed
 // and the fault log and counters replay identically.
 //
-//   $ ./chaos_soak [seed]
+// The soak also watches itself (DESIGN.md §10): an obs::Registry collects
+// simulator, director, and wire-intrusiveness telemetry, dumps it to stdout,
+// and — given a second argument — exports the deterministic JSON snapshot
+// CI archives next to the benchmark results.
+//
+//   $ ./chaos_soak [seed] [obs-snapshot.json]
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +21,8 @@
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "manager/resource_manager.hpp"
+#include "obs/intrusiveness.hpp"
+#include "obs/metrics.hpp"
 
 using namespace netmon;
 
@@ -23,12 +30,20 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1234;
 
+  // Self-observability: declared before the simulator and monitor so the
+  // registry outlives everything attached to it (the simulator and the
+  // director both detach in their destructors).
+  obs::TraceSink trace(4096);
+  obs::Registry registry;
+  registry.set_trace(&trace);
+
   sim::Simulator sim;
   apps::TestbedOptions options;
   options.servers = 2;
   options.clients = 2;
   options.seed = seed;
   apps::Testbed bed(sim, options);
+  sim.attach_observability(registry, "sim");
 
   // Scalable (SNMP) monitor with the full supervision stack enabled.
   core::ScalableMonitor::Config cfg;
@@ -40,6 +55,9 @@ int main(int argc, char** argv) {
   cfg.supervision.breaker_threshold = 3;
   cfg.supervision.breaker_open_for = sim::Duration::sec(8);
   core::ScalableMonitor monitor(bed.network(), bed.station(), cfg);
+  monitor.director().attach_observability(registry, "monitor");
+  obs::IntrusivenessMeter meter(sim, bed.network(), registry,
+                                "net.intrusiveness", sim::Duration::ms(500));
 
   // The primary reachability sensor is wrapped in a ChaosSensor so the plan
   // can wedge it; the raw SNMP sensor stays registered as the fallback.
@@ -132,5 +150,22 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(manager.tuples_consumed()),
               static_cast<unsigned long long>(manager.degraded_tuples()),
               static_cast<unsigned long long>(manager.stale_tuples()));
+
+  std::printf("\nobservability (%zu metrics, %llu trace events):\n",
+              registry.size(),
+              static_cast<unsigned long long>(trace.emitted()));
+  std::printf("%s", registry.export_text().c_str());
+
+  if (argc > 2) {
+    std::FILE* out = std::fopen(argv[2], "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", argv[2]);
+      return 1;
+    }
+    const std::string json = registry.export_json();
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("\nobs snapshot written to %s\n", argv[2]);
+  }
   return 0;
 }

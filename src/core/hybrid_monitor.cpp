@@ -10,7 +10,8 @@ HybridMonitor::HybridMonitor(net::Network& network, net::Host& station,
       config_(config),
       background_(network, station,
                   ScalableMonitor::Config{config.manager, config.snmp,
-                                          config.background_concurrency}),
+                                          config.background_concurrency,
+                                          config.supervision}),
       targeted_sensor_(network, config.probe) {
   background_.set_trap_callback([this](const snmp::TrapEvent& event) {
     if (event.trap_oid != rmon::rmon_mib::kRisingAlarmTrap) return;
@@ -96,6 +97,39 @@ void HybridMonitor::probe_now(const Path& path, Metric metric) {
           done();
         });
   });
+}
+
+HybridMonitor::~HybridMonitor() { detach_observability(); }
+
+void HybridMonitor::attach_observability(obs::Registry& registry,
+                                         std::string prefix) {
+  if constexpr (!obs::kCompiledIn) {
+    (void)registry;
+    (void)prefix;
+    return;
+  }
+  detach_observability();
+  obs_registry_ = &registry;
+  obs_prefix_ = std::move(prefix);
+  registry.gauge_fn(obs_prefix_ + ".escalations", [this] {
+    return static_cast<double>(escalations_);
+  });
+  registry.gauge_fn(obs_prefix_ + ".targeted_measurements", [this] {
+    return static_cast<double>(targeted_done_);
+  });
+  background_.director().attach_observability(registry,
+                                              obs_prefix_ + ".background");
+  targeted_sequencer_.attach_observability(
+      registry, obs_prefix_ + ".targeted",
+      [this] { return network_.simulator().now().nanos(); });
+}
+
+void HybridMonitor::detach_observability() {
+  if (obs_registry_ == nullptr) return;
+  background_.director().detach_observability();
+  targeted_sequencer_.detach_observability();
+  obs_registry_->remove_prefix(obs_prefix_);
+  obs_registry_ = nullptr;
 }
 
 rmon::Alarm& HybridMonitor::arm_utilization_alarm(rmon::Probe& probe,

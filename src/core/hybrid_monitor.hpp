@@ -32,6 +32,9 @@ class HybridMonitor {
     // fidelity background samples do not overwrite it in the database.
     sim::Duration targeted_authority = sim::Duration::sec(30);
     std::size_t background_concurrency = 8;
+    // Deadline/retry/breaker supervision for the background director; all
+    // off by default (identical to the unsupervised monitor).
+    SupervisionConfig supervision;
   };
 
   HybridMonitor(net::Network& network, net::Host& station, Config config);
@@ -58,6 +61,15 @@ class HybridMonitor {
   std::uint64_t escalations() const { return escalations_; }
   std::uint64_t targeted_measurements() const { return targeted_done_; }
 
+  // Self-observability (DESIGN.md §10): escalation/targeted counters under
+  // "<prefix>.", the background director under "<prefix>.background", the
+  // targeted sequencer under "<prefix>.targeted" (slot waits measured on
+  // the simulator clock).
+  void attach_observability(obs::Registry& registry,
+                            std::string prefix = "hybrid");
+  void detach_observability();
+  ~HybridMonitor();
+
  private:
   void on_background_tuple(const PathMetricTuple& tuple);
   void escalate(const Path& path);
@@ -75,6 +87,8 @@ class HybridMonitor {
   std::map<std::pair<Path, Metric>, sim::TimePoint> targeted_recorded_;
   std::uint64_t escalations_ = 0;
   std::uint64_t targeted_done_ = 0;
+  obs::Registry* obs_registry_ = nullptr;
+  std::string obs_prefix_;
 };
 
 }  // namespace netmon::core

@@ -22,7 +22,17 @@ PathId MeasurementDatabase::find(const Path& path) const {
 void MeasurementDatabase::record(PathId id, Metric metric,
                                  const MetricValue& value) {
   Series& series = series_[slot(id, metric)];
-  if (series.history.empty()) ++tracked_series_;
+  if (series.history.empty()) {
+    ++tracked_series_;
+  } else if constexpr (obs::kCompiledIn) {
+    if (obs_interval_ != nullptr) {
+      // Gap since the previous sample of this series: the measured
+      // senescence floor the paper's C·S·T bound must dominate.
+      obs_interval_->observe(static_cast<double>(
+          (value.measured_at - series.history.newest().value.measured_at)
+              .nanos()));
+    }
+  }
   const Measurement m{value};
   series.history.push(m);
   if (value.valid) series.last_valid = m;
@@ -34,6 +44,11 @@ std::optional<Measurement> MeasurementDatabase::current(
   const Series& series = series_[slot(id, metric)];
   if (!series.last_valid) return std::nullopt;
   const Measurement& m = *series.last_valid;
+  if constexpr (obs::kCompiledIn) {
+    if (obs_age_read_ != nullptr) {
+      obs_age_read_->observe(static_cast<double>(m.age(now).nanos()));
+    }
+  }
   if (m.age(now) > max_age) return std::nullopt;
   return m;
 }
@@ -48,6 +63,37 @@ std::optional<sim::Duration> MeasurementDatabase::senescence(
   const Series& series = series_[slot(id, metric)];
   if (series.history.empty()) return std::nullopt;
   return series.history.newest().age(now);
+}
+
+void MeasurementDatabase::attach_observability(obs::Registry& registry,
+                                               std::string prefix) {
+  if constexpr (!obs::kCompiledIn) {
+    (void)registry;
+    (void)prefix;
+    return;
+  }
+  detach_observability();
+  obs_registry_ = &registry;
+  obs_prefix_ = std::move(prefix);
+  obs_interval_ = &registry.histogram(obs_prefix_ + ".sample_interval_ns");
+  obs_age_read_ = &registry.histogram(obs_prefix_ + ".age_at_read_ns");
+  registry.gauge_fn(obs_prefix_ + ".records_written", [this] {
+    return static_cast<double>(records_written_);
+  });
+  registry.gauge_fn(obs_prefix_ + ".tracked_series", [this] {
+    return static_cast<double>(tracked_series_);
+  });
+  registry.gauge_fn(obs_prefix_ + ".interned_paths", [this] {
+    return static_cast<double>(paths_.size());
+  });
+}
+
+void MeasurementDatabase::detach_observability() {
+  if (obs_registry_ == nullptr) return;
+  obs_registry_->remove_prefix(obs_prefix_);
+  obs_registry_ = nullptr;
+  obs_interval_ = nullptr;
+  obs_age_read_ = nullptr;
 }
 
 const util::RingBuffer<Measurement>* MeasurementDatabase::history(

@@ -13,10 +13,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/path.hpp"
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 #include "util/ring_buffer.hpp"
 
@@ -39,6 +41,9 @@ class MeasurementDatabase {
  public:
   explicit MeasurementDatabase(std::size_t history_depth = 64)
       : history_depth_(history_depth) {}
+  ~MeasurementDatabase() { detach_observability(); }
+  MeasurementDatabase(const MeasurementDatabase&) = delete;
+  MeasurementDatabase& operator=(const MeasurementDatabase&) = delete;
 
   // Interning: id_of() assigns (or returns) the dense id for a path;
   // find() never assigns and reports kInvalidPathId for unknown paths.
@@ -98,6 +103,17 @@ class MeasurementDatabase {
   // alone reserves slots but does not create a tracked series.)
   std::size_t tracked_series() const { return tracked_series_; }
 
+  // Self-observability (DESIGN.md §10): the fidelity half of the paper's
+  // evaluation, measured. "<prefix>.sample_interval_ns" observes, at record
+  // time, the gap between consecutive samples of the same (path, metric)
+  // series — the floor any senescence bound (C·S·T) must cover;
+  // "<prefix>.age_at_read_ns" observes the age of the newest sample each
+  // time a reader consults the series — the senescence the manager actually
+  // experienced. Detached (default) record() pays one null check.
+  void attach_observability(obs::Registry& registry,
+                            std::string prefix = "db");
+  void detach_observability();
+
  private:
   struct Series {
     util::RingBuffer<Measurement> history;
@@ -118,6 +134,14 @@ class MeasurementDatabase {
   std::vector<Series> series_;      // interned_paths() * kMetricCount slots
   std::size_t tracked_series_ = 0;
   std::uint64_t records_written_ = 0;
+
+  // Observability handles (null while detached; owned by the registry).
+  // Histograms are mutated from const readers: observing a read does not
+  // change the database's logical state.
+  obs::Registry* obs_registry_ = nullptr;
+  std::string obs_prefix_;
+  obs::Histogram* obs_interval_ = nullptr;
+  obs::Histogram* obs_age_read_ = nullptr;
 };
 
 }  // namespace netmon::core

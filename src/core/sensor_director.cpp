@@ -34,6 +34,8 @@ SensorDirector::SensorDirector(sim::Simulator& sim, std::size_t max_concurrent,
                                SupervisionConfig supervision)
     : sim_(sim), sequencer_(max_concurrent), supervision_(supervision) {}
 
+SensorDirector::~SensorDirector() { detach_observability(); }
+
 void SensorDirector::register_sensor(Metric metric, NetworkSensor* sensor) {
   if (sensor != nullptr && !sensor->supports(metric)) {
     throw std::invalid_argument("SensorDirector: sensor " + sensor->name() +
@@ -269,9 +271,99 @@ sim::Duration SensorDirector::backoff_delay(const Job& job) const {
   return sim::Duration::ns(ns + static_cast<std::int64_t>(h % 1024) * ns / 4096);
 }
 
+void SensorDirector::attach_observability(obs::Registry& registry,
+                                          std::string prefix) {
+  if constexpr (!obs::kCompiledIn) {
+    (void)registry;
+    (void)prefix;
+    return;
+  }
+  detach_observability();
+  obs_registry_ = &registry;
+  obs_prefix_ = std::move(prefix);
+  sequencer_.attach_observability(registry, obs_prefix_ + ".sequencer",
+                                  [this] { return sim_.now().nanos(); });
+  database_.attach_observability(registry, obs_prefix_ + ".db");
+
+  struct Field {
+    const char* name;
+    std::uint64_t DirectorStats::* member;
+  };
+  static constexpr Field kFields[] = {
+      {"requests_accepted", &DirectorStats::requests_accepted},
+      {"measurements_started", &DirectorStats::measurements_started},
+      {"measurements_completed", &DirectorStats::measurements_completed},
+      {"measurements_failed", &DirectorStats::measurements_failed},
+      {"tuples_reported", &DirectorStats::tuples_reported},
+      {"rounds_completed", &DirectorStats::rounds_completed},
+      {"timeouts", &DirectorStats::timeouts},
+      {"late_completions", &DirectorStats::late_completions},
+      {"retries", &DirectorStats::retries},
+      {"fallbacks", &DirectorStats::fallbacks},
+      {"breaker_skips", &DirectorStats::breaker_skips},
+      {"exhausted", &DirectorStats::exhausted},
+      {"stale_reports", &DirectorStats::stale_reports},
+  };
+  for (const Field& f : kFields) {
+    registry.gauge_fn(obs_prefix_ + "." + f.name, [this, m = f.member] {
+      return static_cast<double>(stats_.*m);
+    });
+  }
+  static constexpr SampleQuality kQualities[] = {
+      SampleQuality::kFresh, SampleQuality::kRetried, SampleQuality::kFallback,
+      SampleQuality::kStale};
+  for (SampleQuality q : kQualities) {
+    obs_quality_[static_cast<std::size_t>(q)] = &registry.counter(
+        obs_prefix_ + ".quality." + to_string(q));
+  }
+  // Health entries that predate the attach get their gauges now.
+  for (const auto& [key, h] : health_) {
+    publish_health(key.first, key.second, h);
+  }
+}
+
+void SensorDirector::detach_observability() {
+  if (obs_registry_ == nullptr) return;
+  sequencer_.detach_observability();
+  database_.detach_observability();
+  obs_registry_->remove_prefix(obs_prefix_);
+  obs_registry_ = nullptr;
+  obs_quality_ = {};
+}
+
+SensorHealth& SensorDirector::health_entry(NetworkSensor* sensor,
+                                           PathId path) {
+  auto [it, inserted] = health_.try_emplace({sensor, path});
+  if constexpr (obs::kCompiledIn) {
+    if (inserted && obs_registry_ != nullptr) {
+      publish_health(sensor, path, it->second);
+    }
+  }
+  return it->second;
+}
+
+void SensorDirector::publish_health(const NetworkSensor* sensor, PathId path,
+                                    const SensorHealth& h) {
+  // Map nodes are stable, so binding gauge callbacks to the entry is safe
+  // for the director's lifetime; detach_observability removes them.
+  const std::string base = obs_prefix_ + ".health." + sensor->name() + "." +
+                           database_.path_of(path).to_string();
+  obs_registry_->gauge_fn(base + ".successes", [&h] {
+    return static_cast<double>(h.successes);
+  });
+  obs_registry_->gauge_fn(base + ".failures", [&h] {
+    return static_cast<double>(h.failures);
+  });
+  obs_registry_->gauge_fn(base + ".trips",
+                          [&h] { return static_cast<double>(h.trips); });
+  obs_registry_->gauge_fn(base + ".breaker_state", [&h] {
+    return static_cast<double>(h.state);
+  });
+}
+
 bool SensorDirector::breaker_admits(NetworkSensor* sensor, PathId path) {
   if (supervision_.breaker_threshold <= 0) return true;
-  SensorHealth& h = health_[{sensor, path}];
+  SensorHealth& h = health_entry(sensor, path);
   switch (h.state) {
     case BreakerState::kClosed:
       return true;
@@ -290,20 +382,27 @@ bool SensorDirector::breaker_admits(NetworkSensor* sensor, PathId path) {
 
 void SensorDirector::breaker_success(NetworkSensor* sensor, PathId path) {
   if (supervision_.breaker_threshold <= 0) return;
-  SensorHealth& h = health_[{sensor, path}];
+  SensorHealth& h = health_entry(sensor, path);
   ++h.successes;
   h.consecutive_failures = 0;
   if (h.state != BreakerState::kClosed) {
     NETMON_INFO("director", "breaker for ", sensor->name(), " on ",
                 database_.path_of(path).to_string(), " closed");
     h.state = BreakerState::kClosed;
+    if constexpr (obs::kCompiledIn) {
+      if (obs_registry_ != nullptr) {
+        obs_registry_->emit(sim_.now().nanos(), "breaker",
+                            sensor->name() + ".closed",
+                            static_cast<double>(path));
+      }
+    }
   }
   h.probe_in_flight = false;
 }
 
 void SensorDirector::breaker_failure(NetworkSensor* sensor, PathId path) {
   if (supervision_.breaker_threshold <= 0) return;
-  SensorHealth& h = health_[{sensor, path}];
+  SensorHealth& h = health_entry(sensor, path);
   ++h.failures;
   ++h.consecutive_failures;
   const bool trip =
@@ -318,6 +417,13 @@ void SensorDirector::breaker_failure(NetworkSensor* sensor, PathId path) {
     NETMON_WARN("director", "breaker for ", sensor->name(), " on ",
                 database_.path_of(path).to_string(), " opened (",
                 h.consecutive_failures, " consecutive failures)");
+    if constexpr (obs::kCompiledIn) {
+      if (obs_registry_ != nullptr) {
+        obs_registry_->emit(sim_.now().nanos(), "breaker",
+                            sensor->name() + ".opened",
+                            static_cast<double>(path));
+      }
+    }
   }
 }
 
@@ -328,6 +434,13 @@ void SensorDirector::job_finished(
   ++stats_.measurements_completed;
   const MetricValue& to_record = recorded != nullptr ? *recorded : reported;
   if (!to_record.valid) ++stats_.measurements_failed;
+  if constexpr (obs::kCompiledIn) {
+    // Quality mix of what the manager is told (the reported value carries
+    // the fresh/retried/fallback/stale provenance flag).
+    if (obs_quality_[0] != nullptr) {
+      obs_quality_[static_cast<std::size_t>(reported.quality)]->inc();
+    }
+  }
 
   if (!request->cancelled) {
     if (request->request.record_to_database) {

@@ -144,6 +144,7 @@ class SensorDirector {
   SensorDirector(sim::Simulator& sim, std::size_t max_concurrent = 1);
   SensorDirector(sim::Simulator& sim, std::size_t max_concurrent,
                  SupervisionConfig supervision);
+  ~SensorDirector();
 
   // Sensor registration; the last *primary* registered for a metric wins
   // (and clears that metric's fallback chain). register_fallback appends to
@@ -177,6 +178,18 @@ class SensorDirector {
   TestSequencer& sequencer() { return sequencer_; }
   const DirectorStats& stats() const { return stats_; }
   sim::Simulator& simulator() { return sim_; }
+
+  // Self-observability (DESIGN.md §10). Registers the director's pipeline
+  // counters and sample-quality mix under "<prefix>.", forwards to the
+  // embedded sequencer ("<prefix>.sequencer", with the simulator clock, so
+  // slot-wait = serialization stall is measured) and database
+  // ("<prefix>.db", senescence), and publishes per-(sensor, path)
+  // success/failure/trip counters as health entries appear. Breaker
+  // transitions additionally emit trace events when the registry has a
+  // TraceSink.
+  void attach_observability(obs::Registry& registry,
+                            std::string prefix = "director");
+  void detach_observability();
 
  private:
   struct ActiveRequest {
@@ -212,6 +225,11 @@ class SensorDirector {
   bool breaker_admits(NetworkSensor* sensor, PathId path);
   void breaker_success(NetworkSensor* sensor, PathId path);
   void breaker_failure(NetworkSensor* sensor, PathId path);
+  // health_ lookup that registers the pair's observability gauges on first
+  // contact (when attached).
+  SensorHealth& health_entry(NetworkSensor* sensor, PathId path);
+  void publish_health(const NetworkSensor* sensor, PathId path,
+                      const SensorHealth& h);
 
   void job_finished(const std::shared_ptr<ActiveRequest>& request,
                     const Path& path, PathId path_id, Metric metric,
@@ -228,6 +246,11 @@ class SensorDirector {
   std::map<RequestId, std::shared_ptr<ActiveRequest>> requests_;
   RequestId next_id_ = 1;
   DirectorStats stats_;
+
+  // Observability handles (null while detached; owned by the registry).
+  obs::Registry* obs_registry_ = nullptr;
+  std::string obs_prefix_;
+  std::array<obs::Counter*, 4> obs_quality_{};  // indexed by SampleQuality
 };
 
 }  // namespace netmon::core

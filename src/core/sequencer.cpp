@@ -10,6 +10,7 @@ namespace netmon::core {
 struct TestSequencer::DoneState {
   TestSequencer* seq;
   std::weak_ptr<int> guard;
+  std::int64_t launched_ns = 0;
   bool called = false;
 
   explicit DoneState(TestSequencer* s) : seq(s), guard(s->liveness_) {}
@@ -23,13 +24,13 @@ struct TestSequencer::DoneState {
       return;
     }
     called = true;
-    seq->finish(/*abandoned=*/false);
+    seq->finish(/*abandoned=*/false, launched_ns);
   }
 
   ~DoneState() {
     if (called || guard.expired()) return;
     called = true;
-    seq->finish(/*abandoned=*/true);
+    seq->finish(/*abandoned=*/true, launched_ns);
   }
 };
 
@@ -40,6 +41,8 @@ TestSequencer::TestSequencer(std::size_t max_concurrent)
   }
 }
 
+TestSequencer::~TestSequencer() { detach_observability(); }
+
 void TestSequencer::set_max_concurrent(std::size_t max_concurrent) {
   if (max_concurrent == 0) {
     throw std::invalid_argument("TestSequencer: max_concurrent must be >= 1");
@@ -49,16 +52,30 @@ void TestSequencer::set_max_concurrent(std::size_t max_concurrent) {
 }
 
 void TestSequencer::enqueue(Task task) {
-  queue_.push_back(std::move(task));
+  queue_.push_back(Entry{std::move(task), obs_now()});
   pump();
 }
 
-void TestSequencer::finish(bool abandoned) {
+void TestSequencer::finish(bool abandoned, std::int64_t launched_ns) {
+  // Slot-release monotonicity contract: every release must match exactly
+  // one launch. DoneState guarantees this today; if a refactor ever breaks
+  // it, corrupting the concurrency bound silently is the worst outcome, so
+  // fail loudly instead.
+  if (in_flight_ == 0) {
+    throw std::logic_error(
+        "TestSequencer::finish: slot released with none in flight");
+  }
   --in_flight_;
   if (abandoned) {
     ++abandoned_;
   } else {
     ++completed_;
+  }
+  if constexpr (obs::kCompiledIn) {
+    if (obs_slot_hold_ != nullptr && obs_now_ns_) {
+      obs_slot_hold_->observe(
+          static_cast<double>(obs_now() - launched_ns));
+    }
   }
   pump();
 }
@@ -71,14 +88,70 @@ void TestSequencer::pump() {
   if (pumping_) return;
   pumping_ = true;
   while (in_flight_ < max_concurrent_ && !queue_.empty()) {
-    Task task = std::move(queue_.front());
+    Entry entry = std::move(queue_.front());
     queue_.pop_front();
     ++in_flight_;
+    ++launched_;
     auto state = std::make_shared<DoneState>(this);
+    if constexpr (obs::kCompiledIn) {
+      if (obs_slot_wait_ != nullptr && obs_now_ns_) {
+        const std::int64_t now = obs_now();
+        state->launched_ns = now;
+        obs_slot_wait_->observe(static_cast<double>(now - entry.enqueued_ns));
+      }
+    }
     // The Done callback may fire synchronously or much later; both are fine.
-    task([state] { state->invoke(); });
+    entry.fn([state] { state->invoke(); });
   }
   pumping_ = false;
+}
+
+void TestSequencer::check_consistency() const {
+  if (completed_ + abandoned_ + in_flight_ != launched_) {
+    throw std::logic_error(
+        "TestSequencer: slot accounting out of balance (completed + "
+        "abandoned + in_flight != launched)");
+  }
+}
+
+void TestSequencer::attach_observability(obs::Registry& registry,
+                                         std::string prefix,
+                                         std::function<std::int64_t()> now_ns) {
+  if constexpr (!obs::kCompiledIn) {
+    (void)registry;
+    (void)prefix;
+    (void)now_ns;
+    return;
+  }
+  detach_observability();
+  obs_registry_ = &registry;
+  obs_prefix_ = std::move(prefix);
+  obs_now_ns_ = std::move(now_ns);
+  registry.gauge_fn(obs_prefix_ + ".in_flight",
+                    [this] { return static_cast<double>(in_flight_); });
+  registry.gauge_fn(obs_prefix_ + ".queued",
+                    [this] { return static_cast<double>(queue_.size()); });
+  registry.gauge_fn(obs_prefix_ + ".launched",
+                    [this] { return static_cast<double>(launched_); });
+  registry.gauge_fn(obs_prefix_ + ".completed",
+                    [this] { return static_cast<double>(completed_); });
+  registry.gauge_fn(obs_prefix_ + ".double_dones",
+                    [this] { return static_cast<double>(double_dones_); });
+  registry.gauge_fn(obs_prefix_ + ".abandoned",
+                    [this] { return static_cast<double>(abandoned_); });
+  if (obs_now_ns_) {
+    obs_slot_wait_ = &registry.histogram(obs_prefix_ + ".slot_wait_ns");
+    obs_slot_hold_ = &registry.histogram(obs_prefix_ + ".slot_hold_ns");
+  }
+}
+
+void TestSequencer::detach_observability() {
+  if (obs_registry_ == nullptr) return;
+  obs_registry_->remove_prefix(obs_prefix_);
+  obs_registry_ = nullptr;
+  obs_now_ns_ = nullptr;
+  obs_slot_wait_ = nullptr;
+  obs_slot_hold_ = nullptr;
 }
 
 }  // namespace netmon::core

@@ -57,6 +57,14 @@ ChaosSensor& FaultInjector::sensor_target(const std::string& name) const {
 }
 
 void FaultInjector::record(const std::string& description) {
+  // The log is ordered by application time by construction: the simulator
+  // clock never runs backwards. A violation means memory corruption or a
+  // clock bug, not a scheduling race — fail loudly.
+  if (!log_.empty() && sim_.now() < log_.back().at) {
+    throw std::logic_error(
+        "FaultInjector: fault log timestamp went backwards at \"" +
+        description + "\"");
+  }
   log_.push_back(FaultRecord{sim_.now(), description});
 }
 
@@ -73,6 +81,9 @@ void FaultInjector::validate(const FaultAction& action) const {
     if (f->down_for.nanos() <= 0) {
       throw std::invalid_argument("FaultInjector: flap down_for <= 0");
     }
+    if (f->up_for.nanos() < 0) {
+      throw std::invalid_argument("FaultInjector: flap up_for < 0");
+    }
   } else if (const auto* f = std::get_if<HostCrash>(&action)) {
     host_target(f->host);
   } else if (const auto* f = std::get_if<HostRestart>(&action)) {
@@ -86,6 +97,9 @@ void FaultInjector::validate(const FaultAction& action) const {
         f->corrupt_probability < 0.0 || f->corrupt_probability > 1.0) {
       throw std::invalid_argument("FaultInjector: probability out of [0,1]");
     }
+    if (f->extra_delay.nanos() < 0) {
+      throw std::invalid_argument("FaultInjector: chaos extra_delay < 0");
+    }
   } else if (const auto* f = std::get_if<ClockStep>(&action)) {
     host_target(f->host);
   } else if (const auto* f = std::get_if<SensorMode>(&action)) {
@@ -96,7 +110,12 @@ void FaultInjector::validate(const FaultAction& action) const {
 void FaultInjector::arm(const FaultPlan& plan) {
   // Fail fast on typos: every target must resolve before anything is
   // scheduled.
-  for (const TimedFault& fault : plan.faults) validate(fault.action);
+  for (const TimedFault& fault : plan.faults) {
+    if (fault.at.nanos() < 0) {
+      throw std::invalid_argument("FaultInjector: fault scheduled in the past");
+    }
+    validate(fault.action);
+  }
 
   // One master stream per arm; chaos windows fork children in plan order so
   // their randomness does not depend on when (or whether) windows overlap.

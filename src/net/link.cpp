@@ -70,6 +70,8 @@ void Link::try_transmit(int dir) {
     busy_[dir] = false;
     ends_[dir]->note_transmitted(f);
     octets_carried_ += f.size_bytes();
+    octets_by_class_[static_cast<std::size_t>(f.packet.traffic_class)] +=
+        f.size_bytes();
     try_transmit(dir);
   });
   // Fault injection (scripted loss/corruption/delay windows): the frame
@@ -85,6 +87,38 @@ void Link::try_transmit(int dir) {
     }
     ends_[1 - dir]->deliver(f);
   });
+}
+
+Link::~Link() { detach_observability(); }
+
+void Link::attach_observability(obs::Registry& registry,
+                                const std::string& prefix) {
+  if constexpr (!obs::kCompiledIn) {
+    (void)registry;
+    (void)prefix;
+    return;
+  }
+  detach_observability();
+  obs_registry_ = &registry;
+  obs_prefix_ = prefix;
+  registry.gauge_fn(prefix + ".octets_carried", [this] {
+    return static_cast<double>(octets_carried_);
+  });
+  registry.gauge_fn(prefix + ".frames_dropped_down", [this] {
+    return static_cast<double>(frames_dropped_down_);
+  });
+  registry.gauge_fn(prefix + ".up", [this] { return up_ ? 1.0 : 0.0; });
+  for (std::size_t c = 0; c < kTrafficClassCount; ++c) {
+    registry.gauge_fn(
+        prefix + ".octets." + to_string(static_cast<TrafficClass>(c)),
+        [this, c] { return static_cast<double>(octets_by_class_[c]); });
+  }
+}
+
+void Link::detach_observability() {
+  if (obs_registry_ == nullptr) return;
+  obs_registry_->remove_prefix(obs_prefix_);
+  obs_registry_ = nullptr;
 }
 
 }  // namespace netmon::net

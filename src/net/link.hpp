@@ -10,6 +10,7 @@
 #include <string>
 
 #include "net/nic.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace netmon::net {
@@ -33,6 +34,21 @@ class Link : public Medium {
 
   std::uint64_t octets_carried() const { return octets_carried_; }
   std::uint64_t frames_dropped_down() const { return frames_dropped_down_; }
+  // Octets carried per traffic class — the per-link intrusiveness split
+  // (paper §4.4): monitoring vs application bytes on this wire.
+  const std::array<std::uint64_t, kTrafficClassCount>& octets_by_class()
+      const {
+    return octets_by_class_;
+  }
+
+  // Self-observability (DESIGN.md §10): per-class carried-octet gauges plus
+  // drop counters under "<prefix>." (callback gauges over counters the link
+  // already maintains — zero transmit-path cost). Detached by default;
+  // removed again on detach/destruction.
+  void attach_observability(obs::Registry& registry,
+                            const std::string& prefix);
+  void detach_observability();
+  ~Link();
 
  private:
   int direction_of(const Nic& nic) const;
@@ -48,6 +64,9 @@ class Link : public Medium {
   std::array<bool, 2> busy_{false, false};
   std::uint64_t octets_carried_ = 0;
   std::uint64_t frames_dropped_down_ = 0;
+  std::array<std::uint64_t, kTrafficClassCount> octets_by_class_{};
+  obs::Registry* obs_registry_ = nullptr;
+  std::string obs_prefix_;
 };
 
 }  // namespace netmon::net

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/nic.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -49,6 +50,14 @@ class SharedSegment : public Medium {
   static constexpr int kMaxAttempts = 16;
   static constexpr int kMaxBackoffExponent = 10;
 
+  // Self-observability (DESIGN.md §10): callback gauges over the segment's
+  // existing stats — utilization, collisions, per-class octets — under
+  // "<prefix>.". No cost on the contention path.
+  void attach_observability(obs::Registry& registry,
+                            const std::string& prefix);
+  void detach_observability();
+  ~SharedSegment();
+
  private:
   bool medium_busy() const;
   void schedule_contention_check(sim::TimePoint at);
@@ -68,6 +77,8 @@ class SharedSegment : public Medium {
   std::unordered_map<Nic*, int> attempts_;
   std::unordered_map<Nic*, sim::TimePoint> backoff_until_;
   SegmentStats stats_;
+  obs::Registry* obs_registry_ = nullptr;
+  std::string obs_prefix_;
 };
 
 }  // namespace netmon::net

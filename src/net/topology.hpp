@@ -99,6 +99,15 @@ class Network {
   std::array<std::uint64_t, kTrafficClassCount> octets_by_class() const;
   std::uint64_t total_octets() const;
 
+  // Self-observability (DESIGN.md §10): network-wide per-class octet
+  // gauges under "<prefix>.octets.*" plus per-medium groups
+  // ("<prefix>.link.<name>.*", "<prefix>.segment.<name>.*"). Call after the
+  // topology is built; media added later are not auto-covered.
+  void attach_observability(obs::Registry& registry,
+                            const std::string& prefix = "net");
+  void detach_observability();
+  ~Network() { detach_observability(); }
+
  private:
   void register_nic(Nic& nic);
   // L2 domain id per medium (segments + links merged through switches).
@@ -114,6 +123,8 @@ class Network {
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::unique_ptr<Switch>> switches_;
   std::unordered_map<IpAddr, Nic*> ip_to_nic_;
+  obs::Registry* obs_registry_ = nullptr;
+  std::string obs_prefix_;
 };
 
 }  // namespace netmon::net

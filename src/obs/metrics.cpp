@@ -1,0 +1,248 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace netmon::obs {
+namespace {
+
+// Fixed-format double rendering so exports are byte-stable across runs and
+// platforms (no locale, no shortest-round-trip variance). Trailing zeros
+// are trimmed for readability but deterministically.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  std::string s(buf);
+  auto dot = s.find('.');
+  auto last = s.find_last_not_of('0');
+  if (last == dot) last = dot - 1;  // "3.000000" -> "3"
+  s.erase(last + 1);
+  return s;
+}
+
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 2);
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceSink::TraceSink(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void TraceSink::emit(std::int64_t at_ns, std::string category,
+                     std::string name, double value) {
+  TraceEvent& slot = ring_[emitted_ % ring_.size()];
+  slot.at_ns = at_ns;
+  slot.category = std::move(category);
+  slot.name = std::move(name);
+  slot.value = value;
+  ++emitted_;
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::vector<TraceEvent> out;
+  const std::uint64_t n = std::min<std::uint64_t>(emitted_, ring_.size());
+  out.reserve(n);
+  const std::uint64_t first = emitted_ - n;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(first + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceSink::dropped() const {
+  return emitted_ > ring_.size() ? emitted_ - ring_.size() : 0;
+}
+
+void Registry::check_unique(const std::string& name, const char* kind) const {
+  auto clash = [&](bool same_kind, const char* table) {
+    if (!same_kind) {
+      throw std::logic_error("obs::Registry: metric '" + name +
+                             "' already registered as " + table +
+                             ", requested as " + kind);
+    }
+  };
+  if (counters_.count(name) != 0) clash(kind == std::string("counter"),
+                                        "counter");
+  if (gauges_.count(name) != 0) clash(kind == std::string("gauge"), "gauge");
+  if (gauge_fns_.count(name) != 0) {
+    clash(kind == std::string("gauge_fn"), "gauge_fn");
+  }
+  if (histograms_.count(name) != 0) {
+    clash(kind == std::string("histogram"), "histogram");
+  }
+}
+
+Counter& Registry::counter(const std::string& name) {
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  check_unique(name, "counter");
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  check_unique(name, "gauge");
+  return gauges_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  check_unique(name, "histogram");
+  return histograms_[name];
+}
+
+void Registry::gauge_fn(const std::string& name, std::function<double()> fn) {
+  auto it = gauge_fns_.find(name);
+  if (it != gauge_fns_.end()) {
+    it->second = std::move(fn);
+    return;
+  }
+  check_unique(name, "gauge_fn");
+  gauge_fns_[name] = std::move(fn);
+}
+
+namespace {
+template <typename Map>
+void erase_prefix(Map& map, const std::string& prefix) {
+  auto it = map.lower_bound(prefix);
+  while (it != map.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+    it = map.erase(it);
+  }
+}
+}  // namespace
+
+void Registry::remove_prefix(const std::string& prefix) {
+  erase_prefix(counters_, prefix);
+  erase_prefix(gauges_, prefix);
+  erase_prefix(gauge_fns_, prefix);
+  erase_prefix(histograms_, prefix);
+}
+
+bool Registry::contains(const std::string& name) const {
+  return counters_.count(name) != 0 || gauges_.count(name) != 0 ||
+         gauge_fns_.count(name) != 0 || histograms_.count(name) != 0;
+}
+
+std::size_t Registry::size() const {
+  return counters_.size() + gauges_.size() + gauge_fns_.size() +
+         histograms_.size();
+}
+
+std::vector<SnapshotEntry> Registry::snapshot() const {
+  std::vector<SnapshotEntry> out;
+  out.reserve(size());
+  for (const auto& [name, c] : counters_) {
+    SnapshotEntry e;
+    e.name = name;
+    e.kind = SnapshotEntry::Kind::kCounter;
+    e.value = static_cast<double>(c.value());
+    out.push_back(std::move(e));
+  }
+  for (const auto& [name, g] : gauges_) {
+    SnapshotEntry e;
+    e.name = name;
+    e.kind = SnapshotEntry::Kind::kGauge;
+    e.value = g.value();
+    out.push_back(std::move(e));
+  }
+  for (const auto& [name, fn] : gauge_fns_) {
+    SnapshotEntry e;
+    e.name = name;
+    e.kind = SnapshotEntry::Kind::kGauge;
+    e.value = fn ? fn() : 0.0;
+    out.push_back(std::move(e));
+  }
+  for (const auto& [name, h] : histograms_) {
+    const QuantileSketch& s = h.sketch();
+    SnapshotEntry e;
+    e.name = name;
+    e.kind = SnapshotEntry::Kind::kHistogram;
+    e.value = static_cast<double>(s.count());
+    e.count = s.count();
+    e.min = s.min();
+    e.max = s.max();
+    e.mean = s.mean();
+    e.p50 = s.p50();
+    e.p90 = s.p90();
+    e.p99 = s.p99();
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string Registry::to_text(const std::vector<SnapshotEntry>& snapshot) {
+  std::string out;
+  for (const SnapshotEntry& e : snapshot) {
+    out += e.name;
+    switch (e.kind) {
+      case SnapshotEntry::Kind::kCounter:
+        out += " counter " + format_double(e.value);
+        break;
+      case SnapshotEntry::Kind::kGauge:
+        out += " gauge " + format_double(e.value);
+        break;
+      case SnapshotEntry::Kind::kHistogram:
+        out += " histogram count=" + format_double(e.value) +
+               " min=" + format_double(e.min) + " mean=" + format_double(e.mean) +
+               " max=" + format_double(e.max) + " p50=" + format_double(e.p50) +
+               " p90=" + format_double(e.p90) + " p99=" + format_double(e.p99);
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Registry::to_json(const std::vector<SnapshotEntry>& snapshot) {
+  std::string out = "{\n";
+  bool first = true;
+  for (const SnapshotEntry& e : snapshot) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"" + json_escape(e.name) + "\": ";
+    switch (e.kind) {
+      case SnapshotEntry::Kind::kCounter:
+      case SnapshotEntry::Kind::kGauge:
+        out += format_double(e.value);
+        break;
+      case SnapshotEntry::Kind::kHistogram:
+        out += "{\"count\": " + format_double(e.value) +
+               ", \"min\": " + format_double(e.min) +
+               ", \"mean\": " + format_double(e.mean) +
+               ", \"max\": " + format_double(e.max) +
+               ", \"p50\": " + format_double(e.p50) +
+               ", \"p90\": " + format_double(e.p90) +
+               ", \"p99\": " + format_double(e.p99) + "}";
+        break;
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace netmon::obs

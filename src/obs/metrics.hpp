@@ -1,0 +1,187 @@
+#pragma once
+
+// Self-observability metrics registry (DESIGN.md §10). The monitor of the
+// paper is evaluated by fidelity (senescence + accuracy), intrusiveness,
+// and scalability (§4.4); this registry is where the codebase measures
+// those properties about *itself*: hot layers register counters, gauges,
+// and streaming-quantile histograms here, and a snapshot/exporter surface
+// turns them into one coherent, deterministic telemetry view (text, JSON,
+// or — via obs/self_mib — an RMON-style SNMP group, so the monitor can be
+// monitored by the architecture it implements).
+//
+// Cost model: instrumented components hold plain pointers into the
+// registry and guard every touch with a null check, so an unattached
+// component pays one predictable branch; attached counters are a single
+// increment, and histogram observations on per-event hot paths are
+// sampled (1-in-N) to stay under the <5% bench budget. Defining
+// NETMON_OBS_ENABLED=0 compiles every instrumentation site out entirely
+// (netmon::obs::kCompiledIn folds the guards away), for a measured-zero
+// configuration.
+//
+// The registry is passive: it never schedules simulator events, so
+// attaching observability cannot perturb event order — the event-core
+// golden trace holds with instrumentation on (tests/obs_test.cpp).
+
+#ifndef NETMON_OBS_ENABLED
+#define NETMON_OBS_ENABLED 1
+#endif
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/quantile.hpp"
+
+namespace netmon::obs {
+
+// Compile-time master switch; see NETMON_OBS in the top-level CMakeLists.
+inline constexpr bool kCompiledIn = NETMON_OBS_ENABLED != 0;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_ += n; }
+  std::uint64_t value() const { return v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  void add(double d) { v_ += d; }
+  double value() const { return v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+class Histogram {
+ public:
+  void observe(double x) { sketch_.add(x); }
+  const QuantileSketch& sketch() const { return sketch_; }
+  std::size_t count() const { return sketch_.count(); }
+
+ private:
+  QuantileSketch sketch_;
+};
+
+// One structured trace event: a timestamped (category, name, value) triple
+// emitted by an instrumented component (breaker transitions, timeouts,
+// escalations...). Stored in a bounded ring so a chaos soak cannot grow
+// without bound.
+struct TraceEvent {
+  std::int64_t at_ns = 0;
+  std::string category;
+  std::string name;
+  double value = 0.0;
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity = 4096);
+
+  void emit(std::int64_t at_ns, std::string category, std::string name,
+            double value);
+
+  // Events currently retained, oldest first (at most `capacity`).
+  std::vector<TraceEvent> events() const;
+  std::uint64_t emitted() const { return emitted_; }
+  std::uint64_t dropped() const;
+  std::size_t capacity() const { return ring_.size(); }
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::uint64_t emitted_ = 0;
+};
+
+// One exported metric, as captured by Registry::snapshot().
+struct SnapshotEntry {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;  // counter/gauge value; histogram count
+  // Histogram detail (zero for scalar kinds).
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+// Named metric registry. Handles returned by counter()/gauge()/histogram()
+// are stable for the registry's lifetime (node-based storage), so hot
+// paths cache the pointer once and never re-look-up by name. Iteration and
+// export order is name-sorted, hence deterministic.
+class Registry {
+ public:
+  // Get-or-create. Throws std::logic_error if `name` already names a
+  // metric of a different kind.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  // Callback-backed gauge, evaluated at snapshot time: zero hot-path cost
+  // for values a component already maintains (stats structs, queue sizes).
+  // Re-registering a name replaces the callback.
+  void gauge_fn(const std::string& name, std::function<double()> fn);
+
+  // Removes every metric whose name starts with `prefix`. Components
+  // register under a unique prefix and detach with this on destruction, so
+  // a registry may safely outlive what it observed. The reverse is not
+  // safe: a component still attached when the registry dies will detach
+  // against freed memory — declare the registry before (destroy it after)
+  // everything attach_observability'd to it.
+  void remove_prefix(const std::string& prefix);
+
+  bool contains(const std::string& name) const;
+  std::size_t size() const;
+
+  // Optional structured trace sink (not owned).
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+  TraceSink* trace() const { return trace_; }
+  void emit(std::int64_t at_ns, std::string category, std::string name,
+            double value) {
+    if (trace_ != nullptr) {
+      trace_->emit(at_ns, std::move(category), std::move(name), value);
+    }
+  }
+
+  // Point-in-time capture of every metric, name-sorted. gauge_fn callbacks
+  // are evaluated here.
+  std::vector<SnapshotEntry> snapshot() const;
+
+  // Human-readable one-line-per-metric dump.
+  static std::string to_text(const std::vector<SnapshotEntry>& snapshot);
+  // Stable JSON (sorted keys, fixed float format): the same telemetry
+  // yields the identical byte string, so exports diff cleanly across runs.
+  static std::string to_json(const std::vector<SnapshotEntry>& snapshot);
+  std::string export_text() const { return to_text(snapshot()); }
+  std::string export_json() const { return to_json(snapshot()); }
+
+  // Read-only access to the underlying tables (used by obs/self_mib to
+  // bind live MIB variables to handles).
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, std::function<double()>>& gauge_fns() const {
+    return gauge_fns_;
+  }
+
+ private:
+  void check_unique(const std::string& name, const char* kind) const;
+
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, std::function<double()>> gauge_fns_;
+  std::map<std::string, Histogram> histograms_;
+  TraceSink* trace_ = nullptr;
+};
+
+}  // namespace netmon::obs

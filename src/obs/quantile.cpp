@@ -1,0 +1,114 @@
+#include "obs/quantile.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace netmon::obs {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (q <= 0.0 || q >= 1.0) {
+    throw std::invalid_argument("P2Quantile: q must be in (0, 1)");
+  }
+  dn_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  return h_[i] +
+         d / (n_[i + 1] - n_[i - 1]) *
+             ((n_[i] - n_[i - 1] + d) * (h_[i + 1] - h_[i]) /
+                  (n_[i + 1] - n_[i]) +
+              (n_[i + 1] - n_[i] - d) * (h_[i] - h_[i - 1]) /
+                  (n_[i] - n_[i - 1]));
+}
+
+double P2Quantile::linear(int i, int d) const {
+  return h_[i] + d * (h_[i + d] - h_[i]) / (n_[i + d] - n_[i]);
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    h_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(h_.begin(), h_.end());
+      for (int i = 0; i < 5; ++i) n_[i] = i + 1;
+      np_ = {1.0, 1.0 + 4.0 * dn_[1], 1.0 + 4.0 * dn_[2], 1.0 + 4.0 * dn_[3],
+             5.0};
+    }
+    return;
+  }
+
+  // Locate the cell, clamping the extreme markers to the new observation.
+  int k;
+  if (x < h_[0]) {
+    h_[0] = x;
+    k = 0;
+  } else if (x >= h_[4]) {
+    h_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= h_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) n_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) np_[i] += dn_[i];
+  ++count_;
+
+  // Nudge the three interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = np_[i] - n_[i];
+    if ((d >= 1.0 && n_[i + 1] - n_[i] > 1.0) ||
+        (d <= -1.0 && n_[i - 1] - n_[i] < -1.0)) {
+      const int s = d >= 0.0 ? 1 : -1;
+      const double hp = parabolic(i, s);
+      h_[i] = (h_[i - 1] < hp && hp < h_[i + 1]) ? hp : linear(i, s);
+      n_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact sample quantile (nearest rank) of the observations held so far.
+    std::array<double, 5> sorted = h_;
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    const auto rank = static_cast<std::size_t>(
+        q_ * static_cast<double>(count_ - 1) + 0.5);
+    return sorted[std::min(rank, count_ - 1)];
+  }
+  return h_[2];
+}
+
+QuantileSketch::QuantileSketch()
+    : p50_(0.5),
+      p90_(0.9),
+      p99_(0.99),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void QuantileSketch::add(double x) {
+  p50_.add(x);
+  p90_.add(x);
+  p99_.add(x);
+  ++count_;
+  sum_ += x;
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double QuantileSketch::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double QuantileSketch::min() const { return count_ == 0 ? 0.0 : min_; }
+double QuantileSketch::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double QuantileSketch::quantile(double q) const {
+  if (q < 0.7) return p50_.value();
+  if (q < 0.95) return p90_.value();
+  return p99_.value();
+}
+
+}  // namespace netmon::obs

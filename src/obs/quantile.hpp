@@ -1,0 +1,74 @@
+#pragma once
+
+// Streaming quantile estimation for the self-observability layer
+// (DESIGN.md §10). The monitor quantifies its own fidelity and
+// intrusiveness from unbounded telemetry streams (event latencies, sample
+// ages, slot waits), so the estimator must be O(1) per observation and
+// O(1) memory — the incremental-quantile approach of Chambers et al.,
+// "Monitoring Networked Applications With Incremental Quantile
+// Estimation". We use the classic P² marker algorithm (Jain & Chlamtac),
+// the deterministic member of that family: five markers per tracked
+// quantile, adjusted by a parabolic fit as observations stream in. No
+// RNG, no buffers — the same input stream always yields the same
+// estimate, which keeps obs snapshots bit-reproducible per seed.
+
+#include <array>
+#include <cstddef>
+
+namespace netmon::obs {
+
+// Single-quantile P² estimator. Exact while fewer than five observations
+// have been seen (it reports the true sample quantile of what it holds);
+// after that, a five-marker streaming approximation.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  double value() const;
+  std::size_t count() const { return count_; }
+  double probability() const { return q_; }
+
+ private:
+  double parabolic(int i, double d) const;
+  double linear(int i, int d) const;
+
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> h_{};   // marker heights
+  std::array<double, 5> n_{};   // actual marker positions (1-based ranks)
+  std::array<double, 5> np_{};  // desired marker positions
+  std::array<double, 5> dn_{};  // desired-position increments per sample
+};
+
+// Fixed-quantile sketch used by obs::Histogram: tracks p50/p90/p99 plus
+// exact count/sum/min/max. ~200 bytes, O(1) per add, deterministic.
+class QuantileSketch {
+ public:
+  QuantileSketch();
+
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  // q must be one of the tracked quantiles {0.5, 0.9, 0.99}; the nearest
+  // tracked estimator answers otherwise.
+  double quantile(double q) const;
+  double p50() const { return p50_.value(); }
+  double p90() const { return p90_.value(); }
+  double p99() const { return p99_.value(); }
+
+ private:
+  P2Quantile p50_;
+  P2Quantile p90_;
+  P2Quantile p99_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace netmon::obs

@@ -1,0 +1,105 @@
+#include "obs/self_mib.hpp"
+
+#include <algorithm>
+
+namespace netmon::obs {
+namespace {
+
+std::int64_t to_milli(double v) { return static_cast<std::int64_t>(v * 1000.0); }
+
+// Name-resolving getters: look the metric up in the live registry at read
+// time so removed metrics read as a benign default instead of dangling.
+snmp::SnmpValue counter_value(const Registry& reg, const std::string& name) {
+  auto it = reg.counters().find(name);
+  return snmp::Counter64{it == reg.counters().end() ? 0 : it->second.value()};
+}
+
+double gauge_value(const Registry& reg, const std::string& name) {
+  if (auto it = reg.gauges().find(name); it != reg.gauges().end()) {
+    return it->second.value();
+  }
+  if (auto it = reg.gauge_fns().find(name); it != reg.gauge_fns().end()) {
+    return it->second ? it->second() : 0.0;
+  }
+  return 0.0;
+}
+
+const QuantileSketch* hist_sketch(const Registry& reg,
+                                  const std::string& name) {
+  auto it = reg.histograms().find(name);
+  return it == reg.histograms().end() ? nullptr : &it->second.sketch();
+}
+
+}  // namespace
+
+SelfMib::SelfMib(snmp::MibTree& mib, const Registry& registry, snmp::Oid base)
+    : mib_(mib), registry_(registry), base_(std::move(base)) {
+  mib_.add(base_.with({1, 0}), [this] {
+    return snmp::Gauge32{static_cast<std::uint32_t>(registry_.size())};
+  });
+  refresh();
+}
+
+SelfMib::~SelfMib() { mib_.remove_subtree(base_); }
+
+void SelfMib::refresh() {
+  mib_.remove_subtree(base_.with(2));
+  mib_.remove_subtree(base_.with(3));
+  mib_.remove_subtree(base_.with(4));
+  rows_ = 0;
+
+  const Registry& reg = registry_;
+  std::uint32_t i = 0;
+  for (const auto& [name, unused] : reg.counters()) {
+    ++i;
+    mib_.add_const(base_.with({2, i, 1}), name);
+    mib_.add(base_.with({2, i, 2}),
+             [&reg, name = name] { return counter_value(reg, name); });
+    ++rows_;
+  }
+
+  // Plain and callback gauges share one table, interleaved in name order
+  // (the order Registry::snapshot() reports them in).
+  std::vector<std::string> gauge_names;
+  gauge_names.reserve(reg.gauges().size() + reg.gauge_fns().size());
+  for (const auto& [name, unused] : reg.gauges()) gauge_names.push_back(name);
+  for (const auto& [name, unused] : reg.gauge_fns()) {
+    gauge_names.push_back(name);
+  }
+  std::sort(gauge_names.begin(), gauge_names.end());
+  i = 0;
+  for (const std::string& name : gauge_names) {
+    ++i;
+    mib_.add_const(base_.with({3, i, 1}), name);
+    mib_.add(base_.with({3, i, 2}),
+             [&reg, name] { return snmp::SnmpValue(to_milli(gauge_value(reg, name))); });
+    ++rows_;
+  }
+
+  i = 0;
+  for (const auto& [name, unused] : reg.histograms()) {
+    ++i;
+    mib_.add_const(base_.with({4, i, 1}), name);
+    mib_.add(base_.with({4, i, 2}), [&reg, name = name] {
+      const QuantileSketch* s = hist_sketch(reg, name);
+      return snmp::Counter64{s == nullptr ? 0 : s->count()};
+    });
+    struct Column {
+      std::uint32_t id;
+      double (QuantileSketch::*fn)() const;
+    };
+    static constexpr Column kColumns[] = {
+        {3, &QuantileSketch::min}, {4, &QuantileSketch::mean},
+        {5, &QuantileSketch::max}, {6, &QuantileSketch::p50},
+        {7, &QuantileSketch::p99}};
+    for (const Column& col : kColumns) {
+      mib_.add(base_.with({4, i, col.id}), [&reg, name = name, fn = col.fn] {
+        const QuantileSketch* s = hist_sketch(reg, name);
+        return snmp::SnmpValue(s == nullptr ? 0 : to_milli((s->*fn)()));
+      });
+    }
+    ++rows_;
+  }
+}
+
+}  // namespace netmon::obs

@@ -1,0 +1,60 @@
+#pragma once
+
+// RMON-style self-MIB group (DESIGN.md §10): publishes an obs::Registry
+// into a snmp::MibTree so the monitor's own health is readable through the
+// very architecture it implements — a station can GETNEXT-walk the
+// scalable monitor's senescence histograms the same way it walks ifTable.
+//
+// Layout under the base OID (default: enterprises.9898.1, a private
+// "netmonSelf" group beside the RMON group the codebase already models):
+//
+//   base.1.0          selfMetricCount    Gauge32   live registry size
+//   base.2.<i>.{1,2}  selfCounterTable   name (string), value (Counter64)
+//   base.3.<i>.{1,2}  selfGaugeTable     name, value (int64, milli-units)
+//   base.4.<i>.{1..7} selfHistogramTable name, count (Counter64), then
+//                     min/mean/max/p50/p99 as int64 milli-units
+//
+// Doubles ride as fixed-point milli-units because SNMP has no float type
+// (the same trick RMON uses for utilization). Getters resolve by *name* at
+// read time, so a metric removed from the registry after install() reads
+// as zero rather than dangling; rows for metrics added later appear on the
+// next refresh(). Row indices are assigned in name-sorted order at refresh
+// time, matching snapshot order.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "snmp/mib.hpp"
+#include "snmp/oid.hpp"
+
+namespace netmon::obs {
+
+inline const snmp::Oid kSelfMibDefaultBase =
+    snmp::oids::kEnterprises.with({9898, 1});
+
+class SelfMib {
+ public:
+  // Installs the group and builds rows for the registry's current
+  // contents. The registry and tree must outlive this object.
+  SelfMib(snmp::MibTree& mib, const Registry& registry,
+          snmp::Oid base = kSelfMibDefaultBase);
+  SelfMib(const SelfMib&) = delete;
+  SelfMib& operator=(const SelfMib&) = delete;
+  ~SelfMib();  // removes the whole subtree
+
+  // Rebuilds the table rows from the registry's current metric set.
+  void refresh();
+
+  const snmp::Oid& base() const { return base_; }
+  std::size_t rows() const { return rows_; }
+
+ private:
+  snmp::MibTree& mib_;
+  const Registry& registry_;
+  snmp::Oid base_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace netmon::obs

@@ -46,6 +46,7 @@ EventHandle Simulator::schedule_at(TimePoint when, Callback fn) {
   if (!core_->wheel().insert(idx, s.next_ns)) {
     heap_.push(HeapNode{s.next_ns, s.next_seq, idx, s.gen});
   }
+  observe_schedule(s.next_ns - now_.nanos());
   return EventHandle(core_, idx, s.gen);
 }
 
@@ -73,6 +74,7 @@ EventHandle Simulator::schedule_periodic(Duration period, Callback fn) {
   if (!core_->wheel().insert(idx, s.next_ns)) {
     heap_.push(HeapNode{s.next_ns, s.next_seq, idx, s.gen});
   }
+  observe_schedule(s.next_ns - now_.nanos());
   return EventHandle(core_, idx, s.gen);
 }
 
@@ -201,6 +203,37 @@ void Simulator::attach_logger() {
 
 void Simulator::detach_logger() {
   util::Logger::instance().clear_time_source();
+}
+
+void Simulator::attach_observability(obs::Registry& registry,
+                                     const std::string& prefix) {
+  if constexpr (!obs::kCompiledIn) {
+    (void)registry;
+    (void)prefix;
+    return;
+  }
+  detach_observability();
+  obs_registry_ = &registry;
+  obs_prefix_ = prefix;
+  obs_schedules_ = &registry.counter(prefix + ".schedules");
+  obs_horizon_ = &registry.histogram(prefix + ".schedule_horizon_ns");
+  obs_depth_ = &registry.histogram(prefix + ".queue_depth");
+  registry.gauge_fn(prefix + ".events_executed",
+                    [this] { return static_cast<double>(executed_); });
+  registry.gauge_fn(prefix + ".pending_events", [this] {
+    return static_cast<double>(pending_events());
+  });
+  registry.gauge_fn(prefix + ".now_seconds",
+                    [this] { return now_.to_seconds(); });
+}
+
+void Simulator::detach_observability() {
+  if (obs_registry_ == nullptr) return;
+  obs_registry_->remove_prefix(obs_prefix_);
+  obs_registry_ = nullptr;
+  obs_schedules_ = nullptr;
+  obs_horizon_ = nullptr;
+  obs_depth_ = nullptr;
 }
 
 }  // namespace netmon::sim

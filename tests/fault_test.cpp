@@ -59,6 +59,76 @@ TEST(FaultInjector, ArmRejectsBadProbability) {
   EXPECT_THROW(injector.arm(plan), std::invalid_argument);
 }
 
+TEST(FaultInjector, ArmRejectsMalformedFaults) {
+  sim::Simulator sim;
+  apps::TestbedOptions options;
+  options.servers = 1;
+  options.clients = 1;
+  apps::Testbed bed(sim, options);
+  FaultInjector injector(sim);
+  net::Link& link = link_named(bed.network(), "server0<->backbone");
+  injector.register_link(link.name(), link);
+  injector.register_host("server0", bed.server(0));
+
+  {  // negative flap up_for would run cycles backwards in time
+    FaultPlan plan;
+    plan.link_flap(Duration::sec(1), link.name(), 2, Duration::ms(100),
+                   Duration::ms(-100));
+    EXPECT_THROW(injector.arm(plan), std::invalid_argument);
+  }
+  {  // negative chaos extra_delay would deliver frames before they were sent
+    FaultPlan plan;
+    plan.packet_chaos(Duration::sec(1), link.name(), Duration::sec(1), 0.1,
+                      0.0, Duration::ms(-5));
+    EXPECT_THROW(injector.arm(plan), std::invalid_argument);
+  }
+  {  // a fault scheduled before arm time can never fire
+    FaultPlan plan;
+    plan.host_crash(Duration::ms(-1), "server0");
+    EXPECT_THROW(injector.arm(plan), std::invalid_argument);
+  }
+  // Validation happens before scheduling: nothing leaked into the simulator.
+  sim.run();
+  EXPECT_TRUE(injector.log().empty());
+  EXPECT_EQ(injector.stats().faults_applied, 0u);
+}
+
+TEST(FaultInjector, LogTimestampsAreMonotoneAcrossOverlappingFaults) {
+  sim::Simulator sim;
+  apps::TestbedOptions options;
+  options.servers = 1;
+  options.clients = 2;
+  apps::Testbed bed(sim, options);
+  FaultInjector injector(sim);
+  for (const auto& link : bed.network().links()) {
+    injector.register_link(link->name(), *link);
+  }
+  injector.register_host("client0", bed.client(0));
+
+  // Interleaved flaps, chaos windows, and crash/restart whose applications
+  // overlap in time; the log must still come out time-ordered.
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.link_flap(Duration::ms(100), "client0<->backbone", 4, Duration::ms(70),
+                 Duration::ms(30));
+  plan.link_flap(Duration::ms(150), "client1<->backbone", 3, Duration::ms(40),
+                 Duration::ms(110));
+  plan.packet_chaos(Duration::ms(50), "server0<->backbone", Duration::ms(400),
+                    0.3);
+  plan.host_crash(Duration::ms(200), "client0");
+  plan.host_restart(Duration::ms(300), "client0");
+  injector.arm(plan);
+  sim.run();
+
+  const auto& log = injector.log();
+  ASSERT_GT(log.size(), 10u);
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_LE(log[i - 1].at.nanos(), log[i].at.nanos());
+  }
+  EXPECT_EQ(injector.stats().link_transitions, 14u);  // 4*2 + 3*2 edges
+  EXPECT_EQ(injector.stats().host_transitions, 2u);
+}
+
 TEST(FaultInjector, LinkFlapTogglesLinkOnSchedule) {
   sim::Simulator sim;
   apps::TestbedOptions options;

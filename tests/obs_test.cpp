@@ -1,0 +1,402 @@
+// Tests for the self-observability layer: P² streaming-quantile accuracy
+// against exact quantiles on seeded streams, registry snapshot determinism
+// (same seed ⇒ byte-identical export), the trace ring, the self-MIB group,
+// and — most importantly — the passivity guarantee: attaching a registry to
+// the simulator leaves the event-core golden trace hash unchanged.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/quantile.hpp"
+#include "obs/self_mib.hpp"
+#include "sim/simulator.hpp"
+#include "snmp/mib.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace netmon::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// P² quantile estimator
+
+TEST(P2Quantile, RejectsOutOfRangeProbability) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(-0.5), std::invalid_argument);
+  EXPECT_NO_THROW(P2Quantile(0.5));
+}
+
+TEST(P2Quantile, ExactBelowFiveSamples) {
+  P2Quantile med(0.5);
+  EXPECT_EQ(med.value(), 0.0);  // empty
+  med.add(30.0);
+  EXPECT_EQ(med.value(), 30.0);
+  med.add(10.0);
+  med.add(20.0);
+  EXPECT_EQ(med.value(), 20.0);  // true median of {10,20,30}
+  med.add(40.0);
+  EXPECT_EQ(med.count(), 4u);
+}
+
+// The estimator must track exact quantiles within a few percent of the
+// sample range on well-behaved distributions. These bounds are loose enough
+// to be robust to the seed, tight enough to catch a broken marker update.
+void expect_close_quantiles(util::Rng& rng,
+                            const std::function<double(util::Rng&)>& draw,
+                            double tolerance_frac) {
+  P2Quantile p50(0.5), p90(0.9), p99(0.99);
+  util::SampleSet exact;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = draw(rng);
+    p50.add(x);
+    p90.add(x);
+    p99.add(x);
+    exact.add(x);
+  }
+  const double range = exact.max() - exact.min();
+  EXPECT_NEAR(p50.value(), exact.quantile(0.5), tolerance_frac * range);
+  EXPECT_NEAR(p90.value(), exact.quantile(0.9), tolerance_frac * range);
+  EXPECT_NEAR(p99.value(), exact.quantile(0.99), tolerance_frac * range);
+}
+
+TEST(P2Quantile, TracksUniformStream) {
+  util::Rng rng(42);
+  expect_close_quantiles(
+      rng, [](util::Rng& r) { return r.uniform(0.0, 1000.0); }, 0.02);
+}
+
+TEST(P2Quantile, TracksExponentialStream) {
+  util::Rng rng(7);
+  expect_close_quantiles(
+      rng, [](util::Rng& r) { return r.exponential(50.0); }, 0.05);
+}
+
+TEST(P2Quantile, TracksNormalStream) {
+  util::Rng rng(1998);
+  expect_close_quantiles(
+      rng, [](util::Rng& r) { return r.normal(100.0, 15.0); }, 0.05);
+}
+
+TEST(P2Quantile, DeterministicForIdenticalStreams) {
+  P2Quantile a(0.9), b(0.9);
+  util::Rng ra(3), rb(3);
+  for (int i = 0; i < 5000; ++i) {
+    a.add(ra.exponential(10.0));
+    b.add(rb.exponential(10.0));
+  }
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(a.count(), b.count());
+}
+
+TEST(QuantileSketch, ExactScalarStatistics) {
+  QuantileSketch s;
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  for (double x : {5.0, 1.0, 9.0, 3.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_EQ(s.sum(), 18.0);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.mean(), 4.5);
+  // quantile() routes to the nearest tracked estimator.
+  EXPECT_EQ(s.quantile(0.5), s.p50());
+  EXPECT_EQ(s.quantile(0.9), s.p90());
+  EXPECT_EQ(s.quantile(0.99), s.p99());
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(Registry, HandlesAreStableAndGetOrCreate) {
+  Registry reg;
+  Counter& c1 = reg.counter("x.count");
+  Counter& c2 = reg.counter("x.count");
+  EXPECT_EQ(&c1, &c2);
+  c1.inc(3);
+  EXPECT_EQ(c2.value(), 3u);
+  // Node-based storage: creating more metrics must not move the handle.
+  for (int i = 0; i < 100; ++i) reg.counter("y." + std::to_string(i));
+  EXPECT_EQ(&reg.counter("x.count"), &c1);
+  EXPECT_EQ(reg.size(), 101u);
+}
+
+TEST(Registry, KindClashThrows) {
+  Registry reg;
+  reg.counter("m");
+  EXPECT_THROW(reg.gauge("m"), std::logic_error);
+  EXPECT_THROW(reg.histogram("m"), std::logic_error);
+  EXPECT_THROW(reg.gauge_fn("m", [] { return 0.0; }), std::logic_error);
+}
+
+TEST(Registry, GaugeFnReRegisterReplaces) {
+  Registry reg;
+  reg.gauge_fn("g", [] { return 1.0; });
+  reg.gauge_fn("g", [] { return 2.0; });
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].value, 2.0);
+}
+
+TEST(Registry, RemovePrefixDetachesOnlyThatComponent) {
+  Registry reg;
+  reg.counter("sim.schedules");
+  reg.histogram("sim.queue_depth");
+  reg.gauge_fn("sim.now_seconds", [] { return 0.0; });
+  reg.counter("director.launches");
+  reg.remove_prefix("sim.");
+  EXPECT_FALSE(reg.contains("sim.schedules"));
+  EXPECT_FALSE(reg.contains("sim.queue_depth"));
+  EXPECT_FALSE(reg.contains("sim.now_seconds"));
+  EXPECT_TRUE(reg.contains("director.launches"));
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, SnapshotIsNameSortedAcrossKinds) {
+  Registry reg;
+  reg.histogram("c.hist");
+  reg.counter("a.count");
+  reg.gauge("b.gauge");
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.count");
+  EXPECT_EQ(snap[1].name, "b.gauge");
+  EXPECT_EQ(snap[2].name, "c.hist");
+}
+
+// Snapshot determinism: the same seeded workload must export the identical
+// byte string — the property that makes obs snapshots diffable in CI.
+std::string seeded_export(std::uint64_t seed) {
+  Registry reg;
+  util::Rng rng(seed);
+  Counter& events = reg.counter("run.events");
+  Histogram& latency = reg.histogram("run.latency_us");
+  Gauge& level = reg.gauge("run.level");
+  for (int i = 0; i < 4000; ++i) {
+    events.inc();
+    latency.observe(rng.exponential(250.0));
+    level.set(rng.uniform(0.0, 10.0));
+  }
+  reg.gauge_fn("run.events_twice",
+               [&events] { return static_cast<double>(events.value()) * 2; });
+  return reg.export_json();
+}
+
+TEST(Registry, ExportIsByteIdenticalPerSeed) {
+  const std::string a = seeded_export(1234);
+  const std::string b = seeded_export(1234);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, seeded_export(1235));
+}
+
+TEST(Registry, ExportFormatsContainEveryMetric) {
+  Registry reg;
+  reg.counter("n.count").inc(7);
+  reg.gauge("n.gauge").set(2.5);
+  reg.histogram("n.hist").observe(4.0);
+  const std::string text = reg.export_text();
+  const std::string json = reg.export_json();
+  for (const char* name : {"n.count", "n.gauge", "n.hist"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << text;
+    EXPECT_NE(json.find(name), std::string::npos) << json;
+  }
+  EXPECT_NE(text.find('7'), std::string::npos);
+  EXPECT_NE(json.find("2.5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace sink
+
+TEST(TraceSink, BoundedRingKeepsNewestAndCountsDrops) {
+  TraceSink sink(4);
+  for (int i = 0; i < 10; ++i) {
+    sink.emit(i, "cat", "ev" + std::to_string(i), i * 1.0);
+  }
+  EXPECT_EQ(sink.emitted(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first among the retained tail.
+  EXPECT_EQ(events.front().name, "ev6");
+  EXPECT_EQ(events.back().name, "ev9");
+  EXPECT_EQ(events.back().at_ns, 9);
+}
+
+TEST(TraceSink, RegistryForwardsOnlyWhenAttached) {
+  Registry reg;
+  reg.emit(1, "cat", "dropped-on-floor", 0.0);  // no sink: must be a no-op
+  TraceSink sink(8);
+  reg.set_trace(&sink);
+  reg.emit(2, "cat", "kept", 1.0);
+  reg.set_trace(nullptr);
+  reg.emit(3, "cat", "dropped-again", 2.0);
+  ASSERT_EQ(sink.emitted(), 1u);
+  EXPECT_EQ(sink.events().front().name, "kept");
+}
+
+// ---------------------------------------------------------------------------
+// Passivity: instrumentation must not perturb simulation order. This is the
+// event-core golden-trace workload from tests/event_core_test.cpp, run with
+// a registry attached; the hash must match the seed implementation exactly.
+
+constexpr std::uint64_t kGoldenTraceHash = 0x1648e4f5d335438full;
+
+std::uint64_t instrumented_trace_hash(Registry* registry) {
+  sim::Simulator s;
+  if (registry != nullptr) s.attach_observability(*registry);
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h, &s](std::uint64_t marker) {
+    h ^= marker;
+    h *= 1099511628211ull;
+    h ^= static_cast<std::uint64_t>(s.now().nanos());
+    h *= 1099511628211ull;
+  };
+
+  auto p30 = s.schedule_periodic(sim::Duration::ms(30), [&] { mix(1); });
+  auto p10 = s.schedule_periodic(sim::Duration::ms(10), [&] { mix(2); });
+  auto p15 = s.schedule_periodic(sim::Duration::ms(15), [&] { mix(3); });
+
+  for (int i = 0; i < 40; ++i) {
+    s.schedule_in(sim::Duration::ms(3 * ((i * 7) % 31)), [&mix, i] {
+      mix(100 + static_cast<std::uint64_t>(i));
+    });
+  }
+
+  sim::EventHandle doomed =
+      s.schedule_in(sim::Duration::ms(55), [&] { mix(999); });
+  s.schedule_in(sim::Duration::ms(42), [&] {
+    mix(4);
+    doomed.cancel();
+    s.schedule_in(sim::Duration::ms(1), [&] { mix(5); });
+    s.schedule_at(s.now(), [&] { mix(6); });
+  });
+  s.schedule_in(sim::Duration::ms(65), [&] {
+    mix(7);
+    p30.cancel();
+  });
+  auto self_cancel = std::make_shared<sim::EventHandle>();
+  *self_cancel = s.schedule_periodic(sim::Duration::ms(7), [&, self_cancel] {
+    mix(9);
+    if (s.now().nanos() >= sim::Duration::ms(21).nanos()) {
+      self_cancel->cancel();
+    }
+  });
+
+  s.run_until(sim::TimePoint::from_nanos(0) + sim::Duration::ms(80));
+  p10.cancel();
+  p15.cancel();
+  s.run();
+  mix(static_cast<std::uint64_t>(s.events_executed()));
+  return h;
+}
+
+TEST(Passivity, GoldenTraceHashUnchangedWithRegistryAttached) {
+  EXPECT_EQ(instrumented_trace_hash(nullptr), kGoldenTraceHash);
+  Registry reg;
+  EXPECT_EQ(instrumented_trace_hash(&reg), kGoldenTraceHash);
+  // The simulator detached itself on destruction; nothing dangles.
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(Passivity, SimulatorDetachesOnDestruction) {
+  Registry reg;
+  {
+    sim::Simulator s;
+    s.attach_observability(reg, "scoped");
+    if constexpr (kCompiledIn) {
+      s.schedule_in(sim::Duration::ms(1), [] {});
+      s.run();
+      EXPECT_TRUE(reg.contains("scoped.schedules"));
+    }
+  }
+  EXPECT_EQ(reg.size(), 0u);  // registry safely outlives the simulator
+}
+
+TEST(Passivity, RuntimeDetachStopsUpdatesCompiledInOrNot) {
+  Registry reg;
+  sim::Simulator s;
+  s.attach_observability(reg);
+  s.schedule_in(sim::Duration::ms(1), [] {});
+  s.run();
+  s.detach_observability();
+  EXPECT_EQ(reg.size(), 0u);
+  // Scheduling after detach must not touch the (removed) metrics.
+  s.schedule_in(sim::Duration::ms(1), [] {});
+  s.run();
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Self-MIB group
+
+TEST(SelfMib, PublishesRegistryAndRefreshes) {
+  Registry reg;
+  reg.counter("a.events").inc(41);
+  reg.gauge("a.level").set(1.5);
+  reg.histogram("a.lat").observe(2.0);
+
+  snmp::MibTree mib;
+  SelfMib self(mib, reg);
+  const snmp::Oid base = self.base();
+
+  // selfMetricCount reads live registry size.
+  EXPECT_EQ(mib.get(base.with({1, 0})), snmp::SnmpValue(snmp::Gauge32{3}));
+
+  // Counter row 1: name + Counter64 value resolved by name at read time.
+  EXPECT_EQ(mib.get(base.with({2, 1, 1})), snmp::SnmpValue("a.events"));
+  reg.counter("a.events").inc();  // live: no refresh needed for the value
+  EXPECT_EQ(mib.get(base.with({2, 1, 2})),
+            snmp::SnmpValue(snmp::Counter64{42}));
+
+  // Gauge row: milli-units fixed point.
+  EXPECT_EQ(mib.get(base.with({3, 1, 2})),
+            snmp::SnmpValue(std::int64_t{1500}));
+
+  // Histogram row: count as Counter64.
+  EXPECT_EQ(mib.get(base.with({4, 1, 2})),
+            snmp::SnmpValue(snmp::Counter64{1}));
+
+  // Metrics added later appear after refresh().
+  reg.counter("b.more").inc(5);
+  EXPECT_TRUE(mib.get(base.with({2, 2, 2})).is_exception());
+  self.refresh();
+  EXPECT_EQ(mib.get(base.with({2, 2, 1})), snmp::SnmpValue("b.more"));
+
+  // A removed metric reads as zero, never dangles.
+  reg.remove_prefix("a.");
+  EXPECT_EQ(mib.get(base.with({2, 1, 2})),
+            snmp::SnmpValue(snmp::Counter64{0}));
+
+  const std::size_t before = mib.size();
+  EXPECT_GT(before, 0u);
+  {
+    SelfMib scoped(mib, reg, base.with({99}));
+    EXPECT_GT(mib.size(), before);
+  }
+  EXPECT_EQ(mib.size(), before);  // destructor removed its subtree
+}
+
+TEST(SelfMib, WalkIsOrderedAndTerminates) {
+  Registry reg;
+  reg.counter("w.one").inc(1);
+  reg.counter("w.two").inc(2);
+  snmp::MibTree mib;
+  SelfMib self(mib, reg);
+  const auto binds = mib.walk(self.base());
+  ASSERT_GE(binds.size(), 5u);  // count + 2×(name,value)
+  for (std::size_t i = 1; i < binds.size(); ++i) {
+    EXPECT_TRUE(binds[i - 1].oid < binds[i].oid);
+  }
+}
+
+}  // namespace
+}  // namespace netmon::obs

@@ -86,6 +86,45 @@ TEST(Sequencer, AbandonedDoneUnblocksQueuedTask) {
   EXPECT_EQ(seq.abandoned(), 1u);
 }
 
+TEST(Sequencer, AccountingBalancesAcrossContractViolations) {
+  TestSequencer seq(2);
+  TestSequencer::Done held;
+  // A mix of clean completions, a double done, an abandoned done, and a
+  // task still in flight: launched must always equal
+  // completed + abandoned + in_flight.
+  seq.enqueue([](TestSequencer::Done done) { done(); });
+  seq.enqueue([&](TestSequencer::Done done) {
+    done();
+    done();  // violation: absorbed
+  });
+  seq.enqueue([](TestSequencer::Done done) { (void)done; });  // abandoned
+  seq.enqueue([&](TestSequencer::Done done) { held = std::move(done); });
+  EXPECT_EQ(seq.launched(), 4u);
+  EXPECT_EQ(seq.completed(), 2u);
+  EXPECT_EQ(seq.abandoned(), 1u);
+  EXPECT_EQ(seq.in_flight(), 1u);
+  EXPECT_NO_THROW(seq.check_consistency());
+
+  held();  // resolve the last one
+  EXPECT_NO_THROW(seq.check_consistency());
+  EXPECT_EQ(seq.completed(), 3u);
+}
+
+TEST(Sequencer, LaunchedCounterIsMonotoneThroughQueueing) {
+  TestSequencer seq(1);
+  TestSequencer::Done held;
+  seq.enqueue([&](TestSequencer::Done done) { held = std::move(done); });
+  // Queued tasks are not launched until a slot frees.
+  seq.enqueue([](TestSequencer::Done done) { done(); });
+  seq.enqueue([](TestSequencer::Done done) { done(); });
+  EXPECT_EQ(seq.launched(), 1u);
+  EXPECT_EQ(seq.queued(), 2u);
+  held();
+  EXPECT_EQ(seq.launched(), 3u);
+  EXPECT_EQ(seq.queued(), 0u);
+  EXPECT_NO_THROW(seq.check_consistency());
+}
+
 TEST(Sequencer, DoneOutlivingSequencerIsNoOp) {
   TestSequencer::Done saved;
   {

@@ -5,8 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
+#include "core/lane_scheduler.hpp"
 #include "core/measurement_db.hpp"
 #include "net/topology.hpp"
 #include "net/udp.hpp"
@@ -88,6 +90,44 @@ void BM_ConcurrentPeriodicTimers(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConcurrentPeriodicTimers);
+
+// The lane scheduler's admission cycle: enqueue 1024 gated probes, then
+// complete them one at a time so every finish() re-runs the pick() scan
+// over the still-queued entries. Arg is the lane count — 1 is the serial
+// sequencer special case (no gates), 4 adds the budget and link-disjoint
+// gates with footprints that collide often enough to force scan skips.
+void BM_LaneSchedulerAdmissionCycle(benchmark::State& state) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  constexpr int kTasks = 1024;
+  for (auto _ : state) {
+    core::SchedulerConfig cfg;
+    cfg.lanes = lanes;
+    cfg.budget_bps = 1e6 * static_cast<double>(lanes);
+    cfg.link_disjoint = lanes > 1;
+    core::LaneScheduler sched(cfg);
+    std::deque<core::LaneScheduler::Done> running;
+    for (int i = 0; i < kTasks; ++i) {
+      core::ProbeProfile profile;
+      profile.offered_bps = 1e6;
+      profile.priority = static_cast<core::ProbeClass>(i % 3);
+      profile.footprint = {static_cast<core::LinkKey>(i % 16),
+                           static_cast<core::LinkKey>(100 + i % 7)};
+      sched.enqueue(
+          [&running](core::LaneScheduler::Done done) {
+            running.push_back(std::move(done));
+          },
+          profile);
+    }
+    while (!running.empty()) {
+      auto done = std::move(running.front());
+      running.pop_front();
+      done();
+    }
+    benchmark::DoNotOptimize(sched.completed());
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_LaneSchedulerAdmissionCycle)->Arg(1)->Arg(4);
 
 snmp::Message sample_message() {
   snmp::Message msg;

@@ -1,0 +1,176 @@
+#include "apps/fabric.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "apps/rtds.hpp"
+
+namespace netmon::apps {
+
+namespace {
+clk::HostClock noisy_clock(sim::Simulator& sim, util::Rng& rng,
+                           const ClockNoise& noise) {
+  const auto spread = noise.offset_spread.nanos();
+  const auto offset = sim::Duration::ns(
+      spread == 0 ? 0 : rng.uniform_int(-spread, spread));
+  const double drift =
+      rng.uniform(-noise.drift_ppm_spread, noise.drift_ppm_spread);
+  return clk::HostClock(sim, offset, drift, noise.granularity);
+}
+}  // namespace
+
+FabricTestbed::FabricTestbed(sim::Simulator& sim, FabricOptions options)
+    : sim_(sim),
+      options_(options),
+      rng_(options.seed),
+      network_(sim, util::Rng(options.seed ^ 0xFAB)) {
+  if (options_.spines < 1 || options_.spines > 55 ||
+      options_.client_edges < 1 || options_.client_edges > 255 ||
+      options_.server_edges < 1 || options_.server_edges > 255 ||
+      options_.clients_per_edge < 1 || options_.clients_per_edge > 199 ||
+      options_.servers_per_edge < 1 || options_.servers_per_edge > 199) {
+    throw std::invalid_argument("FabricTestbed: options out of range");
+  }
+
+  for (int s = 0; s < options_.spines; ++s) {
+    spines_.push_back(&network_.add_router("spine" + std::to_string(s)));
+  }
+
+  // One edge switch whose L2 domain is the 10.<net_octet>.<edge>.0/24
+  // subnet: its leaf hosts plus one trunk interface per spine router.
+  auto build_edge = [this](const std::string& name, int net_octet,
+                           int edge) -> net::Switch& {
+    net::Switch& sw = network_.add_switch(name);
+    for (int s = 0; s < options_.spines; ++s) {
+      network_.attach(*spines_[static_cast<std::size_t>(s)], sw,
+                      net::IpAddr(10, static_cast<std::uint8_t>(net_octet),
+                                  static_cast<std::uint8_t>(edge),
+                                  static_cast<std::uint8_t>(200 + s)),
+                      24, options_.trunk_bps, options_.link_delay);
+    }
+    return sw;
+  };
+
+  for (int e = 0; e < options_.client_edges; ++e) {
+    net::Switch& sw = build_edge("cedge" + std::to_string(e), 1, e);
+    client_switches_.push_back(&sw);
+    for (int i = 0; i < options_.clients_per_edge; ++i) {
+      const int index = e * options_.clients_per_edge + i;
+      net::Host& host =
+          network_.add_host("client" + std::to_string(index), make_clock());
+      network_.attach(host, sw,
+                      net::IpAddr(10, 1, static_cast<std::uint8_t>(e),
+                                  static_cast<std::uint8_t>(i + 1)),
+                      24, options_.host_bps, options_.link_delay);
+      clients_.push_back(&host);
+    }
+  }
+  for (int e = 0; e < options_.server_edges; ++e) {
+    net::Switch& sw = build_edge("sedge" + std::to_string(e), 2, e);
+    server_switches_.push_back(&sw);
+    for (int i = 0; i < options_.servers_per_edge; ++i) {
+      const int index = e * options_.servers_per_edge + i;
+      net::Host& host =
+          network_.add_host("server" + std::to_string(index), make_clock());
+      network_.attach(host, sw,
+                      net::IpAddr(10, 2, static_cast<std::uint8_t>(e),
+                                  static_cast<std::uint8_t>(i + 1)),
+                      24, options_.host_bps, options_.link_delay);
+      servers_.push_back(&host);
+    }
+  }
+  net::Switch& station_switch = build_edge("medge", 3, 0);
+  station_ = &network_.add_host("station", make_clock());
+  network_.attach(*station_, station_switch, net::IpAddr(10, 3, 0, 1), 24,
+                  options_.host_bps, options_.link_delay);
+
+  network_.auto_route();
+
+  // auto_route's BFS funnels every inter-edge path through the first spine
+  // discovered. Re-point each leaf at its edge's designated spine (edge
+  // index mod spine count) instead: intra-edge traffic stays direct on the
+  // /24, everything else takes the default route through that spine — so
+  // the path matrix spreads deterministically across the trunk mesh.
+  auto assign_spine = [this](net::Host& host, int net_octet, int edge) {
+    const int s = edge % options_.spines;
+    net::Nic* nic = host.nics().front().get();
+    host.routing().clear();
+    host.routing().add(net::Prefix(nic->ip(), 24), net::IpAddr{}, nic);
+    host.routing().add(
+        net::Prefix(net::IpAddr{}, 0),
+        net::IpAddr(10, static_cast<std::uint8_t>(net_octet),
+                    static_cast<std::uint8_t>(edge),
+                    static_cast<std::uint8_t>(200 + s)),
+        nic);
+  };
+  for (int e = 0; e < options_.client_edges; ++e) {
+    for (int i = 0; i < options_.clients_per_edge; ++i) {
+      assign_spine(*clients_[static_cast<std::size_t>(
+                       e * options_.clients_per_edge + i)],
+                   1, e);
+    }
+  }
+  for (int e = 0; e < options_.server_edges; ++e) {
+    for (int i = 0; i < options_.servers_per_edge; ++i) {
+      assign_spine(*servers_[static_cast<std::size_t>(
+                       e * options_.servers_per_edge + i)],
+                   2, e);
+    }
+  }
+  assign_spine(*station_, 3, 0);
+
+  if (options_.install_sinks) {
+    for (net::Host* host : servers_) sinks_.install(*host);
+    for (net::Host* host : clients_) sinks_.install(*host);
+  }
+}
+
+clk::HostClock FabricTestbed::make_clock() {
+  return noisy_clock(sim_, rng_, options_.clocks);
+}
+
+core::Path FabricTestbed::path(int server, int client) const {
+  return core::Path(
+      core::ProcessEndpoint{"rtds-server", servers_.at(server)->primary_ip(),
+                            kRtdsPort},
+      core::ProcessEndpoint{"rtds-client", clients_.at(client)->primary_ip(),
+                            kRtdsPort});
+}
+
+std::vector<core::PathRequest> FabricTestbed::full_matrix(
+    std::vector<core::Metric> metrics, core::ProbeClass priority,
+    SweepOrder order) const {
+  const int s_count = server_count();
+  const int c_count = client_count();
+  std::vector<core::PathRequest> out;
+  out.reserve(static_cast<std::size_t>(s_count) *
+              static_cast<std::size_t>(c_count));
+  if (order == SweepOrder::kServerMajor) {
+    for (int s = 0; s < s_count; ++s) {
+      for (int c = 0; c < c_count; ++c) {
+        out.push_back(core::PathRequest{path(s, c), metrics, priority});
+      }
+    }
+    return out;
+  }
+  // kStriped: walk host slot k through the edges round-robin (edge k mod E,
+  // member k div E) so consecutive slots sit on different edge switches;
+  // offsetting each server's client sweep by its slot keeps the concurrent
+  // per-server cursors on different client edges too. Each (s, c) pair is
+  // emitted exactly once.
+  const auto rotated = [](int k, int edges, int per_edge) {
+    return (k % edges) * per_edge + k / edges;
+  };
+  for (int i = 0; i < s_count * c_count; ++i) {
+    const int slot = i % s_count;
+    const int round = i / s_count;
+    const int s = rotated(slot, options_.server_edges,
+                          options_.servers_per_edge);
+    const int c = rotated((round + slot) % c_count, options_.client_edges,
+                          options_.clients_per_edge);
+    out.push_back(core::PathRequest{path(s, c), metrics, priority});
+  }
+  return out;
+}
+
+}  // namespace netmon::apps

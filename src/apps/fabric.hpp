@@ -1,0 +1,92 @@
+#pragma once
+
+// Parameterized large-topology generator (DESIGN.md §11): a two-tier
+// leaf/spine fabric — client and server edge switches, each trunked to
+// every spine router — that scales the paper's 9×3 HiPer-D matrix to
+// O(10k) application paths. Leaf hosts route to remote edges through a
+// deterministically assigned spine (edge index mod spine count), so the
+// C·S path matrix spreads across the trunk mesh and link-disjoint probe
+// sets of size ≥ spine count exist for the lane scheduler to exploit.
+// Hosts get imperfect clocks from a seeded RNG, like apps::Testbed.
+
+#include <memory>
+#include <vector>
+
+#include "apps/testbed.hpp"
+#include "core/high_fidelity_monitor.hpp"
+#include "core/path.hpp"
+#include "net/topology.hpp"
+
+namespace netmon::apps {
+
+struct FabricOptions {
+  int spines = 4;
+  int client_edges = 10;
+  int clients_per_edge = 25;
+  int server_edges = 5;
+  int servers_per_edge = 8;
+  double host_bps = net::bandwidth::kFddi100;  // host <-> edge-switch links
+  double trunk_bps = net::bandwidth::kAtm155;  // edge <-> spine trunks
+  sim::Duration link_delay = sim::Duration::us(5);
+  std::uint64_t seed = 42;
+  ClockNoise clocks;
+  bool install_sinks = true;  // NTTCP sink + echo responder on every host
+};
+
+class FabricTestbed {
+ public:
+  FabricTestbed(sim::Simulator& sim, FabricOptions options);
+
+  net::Network& network() { return network_; }
+  sim::Simulator& simulator() { return sim_; }
+  const FabricOptions& options() const { return options_; }
+
+  net::Host& server(int i) { return *servers_.at(i); }
+  net::Host& client(int i) { return *clients_.at(i); }
+  net::Host& station() { return *station_; }
+  net::IpAddr server_ip(int i) const { return servers_.at(i)->primary_ip(); }
+  net::IpAddr client_ip(int i) const { return clients_.at(i)->primary_ip(); }
+  int server_count() const { return static_cast<int>(servers_.size()); }
+  int client_count() const { return static_cast<int>(clients_.size()); }
+  int path_count() const { return server_count() * client_count(); }
+
+  // Order in which full_matrix emits the C·S sweep. The lane scheduler
+  // admits the first gate-admissible queued request, so under kServerMajor
+  // a link-disjoint sweep drains the matrix edge by edge and finishes with
+  // one edge's paths — which all share a trunk — running serially (a long
+  // 1-wide tail), scanning thousands of blocked entries per admission on
+  // the way. kStriped rotates consecutive requests across server and
+  // client edges so admissible work stays at the queue head and every edge
+  // group drains at the same rate.
+  enum class SweepOrder {
+    kServerMajor,  // nested s, c loops — the paper's fixed sweep
+    kStriped,      // consecutive requests touch disjoint edges
+  };
+
+  // The S×C application path matrix with the given metrics and priority on
+  // every path; with the defaults that is 40×250 = 10000 paths.
+  std::vector<core::PathRequest> full_matrix(
+      std::vector<core::Metric> metrics,
+      core::ProbeClass priority = core::ProbeClass::kNormal,
+      SweepOrder order = SweepOrder::kServerMajor) const;
+  core::Path path(int server, int client) const;
+
+  core::SinkSet& sinks() { return sinks_; }
+
+ private:
+  clk::HostClock make_clock();
+
+  sim::Simulator& sim_;
+  FabricOptions options_;
+  util::Rng rng_;
+  net::Network network_;
+  std::vector<net::Host*> spines_;
+  std::vector<net::Switch*> client_switches_;
+  std::vector<net::Switch*> server_switches_;
+  std::vector<net::Host*> servers_;
+  std::vector<net::Host*> clients_;
+  net::Host* station_ = nullptr;
+  core::SinkSet sinks_;
+};
+
+}  // namespace netmon::apps

@@ -1,5 +1,6 @@
 #include "core/high_fidelity_monitor.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/logging.hpp"
@@ -106,13 +107,68 @@ void NttcpSensor::cleanup_later(std::uint64_t token) {
   });
 }
 
+SensorDirector::ProbeProfiler make_route_profiler(
+    net::Network& network, const nttcp::NttcpConfig& probe,
+    double reach_offered_bps) {
+  const double probe_bps = nttcp::NttcpProbe::peak_load_bps(probe);
+  struct PathFootprint {
+    std::vector<LinkKey> keys;
+    double hop_multiplier = 1.0;
+  };
+  auto cache = std::make_shared<std::unordered_map<Path, PathFootprint>>();
+  return [&network, probe_bps, reach_offered_bps,
+          cache](const Path& path, Metric metric) {
+    ProbeProfile profile;
+    auto it = cache->find(path);
+    if (it == cache->end()) {
+      PathFootprint fp;
+      auto add_direction = [&fp, &network](net::IpAddr a, net::IpAddr b) {
+        for (const net::Medium* medium : network.route_media(a, b)) {
+          const auto key = static_cast<LinkKey>(
+              reinterpret_cast<std::uintptr_t>(medium));
+          if (std::find(fp.keys.begin(), fp.keys.end(), key) ==
+              fp.keys.end()) {
+            fp.keys.push_back(key);
+          }
+        }
+      };
+      // Legs are measured sequentially, so the concurrent load is the worst
+      // single leg's. octets_by_class() charges the burst once per L3 hop
+      // (routers re-inject it), so the declared load — which the budget B
+      // and the IntrusivenessMeter it is checked against both use — scales
+      // by the data direction's hop count.
+      for (std::size_t leg = 0; leg < path.leg_count(); ++leg) {
+        auto [from, to] = path.leg(leg);
+        add_direction(from.host, to.host);
+        add_direction(to.host, from.host);
+        const std::size_t hops = network.route_hops(from.host, to.host);
+        fp.hop_multiplier =
+            std::max(fp.hop_multiplier, static_cast<double>(hops));
+      }
+      it = cache->emplace(path, std::move(fp)).first;
+    }
+    const double data_bps =
+        metric == Metric::kReachability ? reach_offered_bps : probe_bps;
+    profile.offered_bps = data_bps * it->second.hop_multiplier;
+    profile.footprint = it->second.keys;
+    return profile;
+  };
+}
+
 HighFidelityMonitor::HighFidelityMonitor(net::Network& network, Config config)
     : sensor_(network, config.probe, config.reach),
       director_(network.simulator(), config.max_concurrent,
-                config.supervision) {
+                config.supervision, config.history_depth) {
   director_.register_sensor(Metric::kThroughput, &sensor_);
   director_.register_sensor(Metric::kOneWayLatency, &sensor_);
   director_.register_sensor(Metric::kReachability, &sensor_);
+  SchedulerConfig scheduling = config.scheduling;
+  if (scheduling.lanes == 1) scheduling.lanes = config.max_concurrent;
+  director_.set_scheduling(scheduling);
+  if (config.auto_profile &&
+      (scheduling.budget_bps > 0 || scheduling.link_disjoint)) {
+    director_.set_probe_profiler(make_route_profiler(network, config.probe));
+  }
 }
 
 }  // namespace netmon::core

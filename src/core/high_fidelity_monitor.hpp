@@ -71,6 +71,20 @@ class NttcpSensor : public NetworkSensor {
   std::uint64_t probe_bytes_on_wire_ = 0;
 };
 
+// Builds a SensorDirector::ProbeProfiler from the live topology: offered
+// load from the probe's wire footprint (NttcpProbe::peak_load_bps — the
+// paper's L/P applied to wire sizes — times the data direction's L3 hop
+// count, so declared loads share units with octets_by_class() and the
+// IntrusivenessMeter the budget B is asserted against; reachability probes
+// declare `reach_offered_bps`, negligible by default) and the
+// link-disjointness footprint from Network::route_media over every path leg
+// in both directions (data flows out, results flow back; asymmetric routes
+// make the directions differ). Footprints are cached per path — construct
+// the profiler after auto_route() and rebuild it if routes change.
+SensorDirector::ProbeProfiler make_route_profiler(
+    net::Network& network, const nttcp::NttcpConfig& probe,
+    double reach_offered_bps = 0.0);
+
 class HighFidelityMonitor {
  public:
   struct Config {
@@ -79,6 +93,19 @@ class HighFidelityMonitor {
     // 1 reproduces the paper's test sequencer; kUnlimited the naive
     // all-paths-in-parallel monitor.
     std::size_t max_concurrent = 1;
+    // Budgeted multi-lane scheduling (DESIGN.md §11). The default —
+    // lanes = 1, no budget, no disjointness — defers the lane count to
+    // max_concurrent above and is bit-identical to the classic sequencer;
+    // scheduling.lanes != 1 takes precedence over max_concurrent.
+    SchedulerConfig scheduling;
+    // With a budget or the disjointness gate active, derive each probe's
+    // offered load and link footprint from the topology automatically
+    // (make_route_profiler); set false to supply a custom profiler via
+    // director().set_probe_profiler().
+    bool auto_profile = true;
+    // Samples retained per (path, metric) series. The 10k-path fabrics
+    // multiply this by C·S·metrics — drop it when soaking large matrices.
+    std::size_t history_depth = 64;
     // Deadline/retry/breaker supervision; all off by default.
     SupervisionConfig supervision;
   };

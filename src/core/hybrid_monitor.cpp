@@ -4,14 +4,22 @@
 
 namespace netmon::core {
 
+namespace {
+ScalableMonitor::Config background_config(const HybridMonitor::Config& c) {
+  ScalableMonitor::Config out;
+  out.manager = c.manager;
+  out.sensor = c.snmp;
+  out.max_concurrent = c.background_concurrency;
+  out.supervision = c.supervision;
+  return out;
+}
+}  // namespace
+
 HybridMonitor::HybridMonitor(net::Network& network, net::Host& station,
                              Config config)
     : network_(network),
       config_(config),
-      background_(network, station,
-                  ScalableMonitor::Config{config.manager, config.snmp,
-                                          config.background_concurrency,
-                                          config.supervision}),
+      background_(network, station, background_config(config)),
       targeted_sensor_(network, config.probe) {
   background_.set_trap_callback([this](const snmp::TrapEvent& event) {
     if (event.trap_oid != rmon::rmon_mib::kRisingAlarmTrap) return;

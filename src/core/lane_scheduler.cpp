@@ -1,0 +1,374 @@
+#include "core/lane_scheduler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netmon::core {
+
+namespace {
+// One class level of priority equals this many aging quanta: a background
+// probe that has waited 8 quanta outranks a fresh critical one, so aging
+// always wins eventually (no starvation by class alone).
+constexpr std::int64_t kAgingQuantaPerClass = 8;
+// Tolerance for the budget comparison: the committed sum is maintained
+// incrementally, so allow for float drift without admitting real overdraft.
+constexpr double kBudgetSlack = 1e-6;
+}  // namespace
+
+const char* to_string(ProbeClass cls) {
+  switch (cls) {
+    case ProbeClass::kBackground: return "background";
+    case ProbeClass::kNormal: return "normal";
+    case ProbeClass::kCritical: return "critical";
+  }
+  return "?";
+}
+
+// Shared between every copy of one task's Done callback: the first
+// invocation releases the lane, later ones are counted no-ops, and the
+// destructor of the last copy releases the lane if nobody ever called it.
+struct LaneScheduler::DoneState {
+  LaneScheduler* sched;
+  std::weak_ptr<int> guard;
+  std::int64_t launched_ns = 0;
+  double offered_bps = 0.0;
+  std::vector<LinkKey> footprint;
+  bool called = false;
+
+  explicit DoneState(LaneScheduler* s) : sched(s), guard(s->liveness_) {}
+  DoneState(const DoneState&) = delete;
+  DoneState& operator=(const DoneState&) = delete;
+
+  void invoke() {
+    if (guard.expired()) return;  // scheduler destroyed first
+    if (called) {
+      ++sched->double_dones_;
+      return;
+    }
+    called = true;
+    sched->finish(*this, /*abandoned=*/false);
+  }
+
+  ~DoneState() {
+    if (called || guard.expired()) return;
+    called = true;
+    sched->finish(*this, /*abandoned=*/true);
+  }
+};
+
+LaneScheduler::LaneScheduler(SchedulerConfig config) {
+  configure(config);
+}
+
+LaneScheduler::~LaneScheduler() { detach_observability(); }
+
+void LaneScheduler::configure(const SchedulerConfig& config) {
+  if (config.lanes == 0) {
+    throw std::invalid_argument("LaneScheduler: lanes must be >= 1");
+  }
+  if (config.budget_bps < 0.0) {
+    throw std::invalid_argument("LaneScheduler: negative budget");
+  }
+  config_ = config;
+  pump();
+}
+
+void LaneScheduler::set_lanes(std::size_t lanes) {
+  SchedulerConfig c = config_;
+  c.lanes = lanes;
+  configure(c);
+}
+
+void LaneScheduler::set_clock(std::function<std::int64_t()> now_ns) {
+  now_ns_ = std::move(now_ns);
+}
+
+void LaneScheduler::set_load_probe(std::function<double()> live_bps) {
+  live_bps_ = std::move(live_bps);
+}
+
+void LaneScheduler::enqueue(Task task, ProbeProfile profile) {
+  const std::size_t cls = static_cast<std::size_t>(profile.priority);
+  if (cls >= kProbeClassCount) {
+    throw std::invalid_argument("LaneScheduler: bad probe class");
+  }
+  queues_[cls].push_back(
+      Entry{std::move(task), std::move(profile), now(), next_entry_seq_++});
+  ++queued_;
+  pump();
+}
+
+bool LaneScheduler::gates_admit(const Entry& entry, bool idle_scheduler) {
+  // Progress guarantee: an idle scheduler admits anything — the serial
+  // special case (K=1, B=L/P) must launch the probe whose offered load
+  // *equals* the whole budget, and a probe wider than every gate must not
+  // pend forever.
+  if (idle_scheduler) return true;
+  const ProbeProfile& p = entry.profile;
+  if (config_.budget_bps > 0.0 && p.offered_bps > 0.0) {
+    if (committed_bps_ + p.offered_bps >
+        config_.budget_bps * (1.0 + kBudgetSlack)) {
+      ++sched_stats_.deferred_budget;
+      return false;
+    }
+    if (live_bps_ &&
+        live_bps_() + p.offered_bps > config_.budget_bps * (1.0 + kBudgetSlack)) {
+      ++sched_stats_.deferred_budget;
+      return false;
+    }
+  }
+  if (config_.link_disjoint) {
+    for (LinkKey key : p.footprint) {
+      if (busy_links_.count(key) != 0) {
+        ++sched_stats_.deferred_disjoint;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool LaneScheduler::pick(std::size_t& cls_out, std::size_t& pos_out) {
+  const bool idle_scheduler = in_flight_ == 0;
+  const std::int64_t t = now();
+
+  struct Candidate {
+    std::size_t cls = 0;
+    std::size_t pos = 0;
+    std::int64_t score = 0;
+    std::int64_t enqueued_ns = 0;
+    std::uint64_t seq = 0;
+    bool starving = false;
+    bool valid = false;
+  };
+  Candidate best;
+
+  for (std::size_t cls = 0; cls < kProbeClassCount; ++cls) {
+    std::deque<Entry>& q = queues_[cls];
+    // Within a class, older entries never rank below younger ones, so the
+    // class's best admissible candidate is its first admissible entry.
+    for (std::size_t pos = 0; pos < q.size(); ++pos) {
+      if (!gates_admit(q[pos], idle_scheduler)) continue;
+      const Entry& e = q[pos];
+      const std::int64_t wait = t > e.enqueued_ns ? t - e.enqueued_ns : 0;
+      Candidate c;
+      c.cls = cls;
+      c.pos = pos;
+      c.score = static_cast<std::int64_t>(cls) * kAgingQuantaPerClass;
+      if (config_.aging_quantum_ns > 0) {
+        c.score += wait / config_.aging_quantum_ns;
+      }
+      c.enqueued_ns = e.enqueued_ns;
+      c.seq = e.seq;
+      c.starving = config_.starvation_limit_ns > 0 &&
+                   wait >= config_.starvation_limit_ns;
+      c.valid = true;
+      const bool wins =
+          !best.valid ||
+          (c.starving != best.starving
+               ? c.starving
+               : (c.starving
+                      // Among starving entries: oldest first.
+                      ? (c.enqueued_ns != best.enqueued_ns
+                             ? c.enqueued_ns < best.enqueued_ns
+                             : c.seq < best.seq)
+                      // Otherwise: highest effective priority, FIFO on ties.
+                      : (c.score != best.score ? c.score > best.score
+                                               : c.seq < best.seq)));
+      if (wins) best = c;
+      break;  // only the first admissible entry per class can win
+    }
+  }
+
+  if (!best.valid) return false;
+  if (best.starving) ++sched_stats_.starvation_picks;
+  cls_out = best.cls;
+  pos_out = best.pos;
+  return true;
+}
+
+void LaneScheduler::admit(std::size_t cls, std::size_t pos) {
+  std::deque<Entry>& q = queues_[cls];
+  Entry entry = std::move(q[pos]);
+  q.erase(q.begin() + static_cast<std::ptrdiff_t>(pos));
+  --queued_;
+
+  // An admission that jumps over an older queued entry is a (deliberate)
+  // priority inversion of FIFO order; the counter sizes how non-FIFO the
+  // configured policy actually runs.
+  for (const std::deque<Entry>& other : queues_) {
+    if (!other.empty() && other.front().seq < entry.seq) {
+      ++sched_stats_.priority_inversions;
+      break;
+    }
+  }
+
+  ++in_flight_;
+  ++launched_;
+  ++sched_stats_.admitted;
+  committed_bps_ += entry.profile.offered_bps;
+  for (LinkKey key : entry.profile.footprint) ++busy_links_[key];
+
+  const std::int64_t t = now();
+  if (trace_capacity_ > 0) {
+    if (trace_.size() < trace_capacity_) {
+      trace_.push_back(AdmissionRecord{
+          trace_emitted_, t, entry.seq, entry.profile.tag,
+          entry.profile.priority, entry.profile.offered_bps,
+          static_cast<std::uint32_t>(in_flight_)});
+    }
+    ++trace_emitted_;
+  }
+
+  auto state = std::make_shared<DoneState>(this);
+  state->launched_ns = t;
+  state->offered_bps = entry.profile.offered_bps;
+  state->footprint = std::move(entry.profile.footprint);
+  if constexpr (obs::kCompiledIn) {
+    if (obs_slot_wait_ != nullptr && obs_timed_) {
+      obs_slot_wait_->observe(static_cast<double>(t - entry.enqueued_ns));
+    }
+  }
+  // The Done callback may fire synchronously or much later; both are fine.
+  entry.fn([state] { state->invoke(); });
+}
+
+void LaneScheduler::finish(DoneState& state, bool abandoned) {
+  // Lane-release monotonicity contract: every release must match exactly
+  // one launch. DoneState guarantees this today; if a refactor ever breaks
+  // it, corrupting the concurrency bound silently is the worst outcome, so
+  // fail loudly instead.
+  if (in_flight_ == 0) {
+    throw std::logic_error(
+        "LaneScheduler::finish: lane released with none in flight");
+  }
+  --in_flight_;
+  if (abandoned) {
+    ++abandoned_;
+  } else {
+    ++completed_;
+  }
+  committed_bps_ -= state.offered_bps;
+  if (in_flight_ == 0 || committed_bps_ < 0.0) committed_bps_ = 0.0;
+  for (LinkKey key : state.footprint) {
+    auto it = busy_links_.find(key);
+    if (it != busy_links_.end() && --it->second == 0) busy_links_.erase(it);
+  }
+  if constexpr (obs::kCompiledIn) {
+    if (obs_slot_hold_ != nullptr && obs_timed_) {
+      obs_slot_hold_->observe(static_cast<double>(now() - state.launched_ns));
+    }
+  }
+  pump();
+}
+
+void LaneScheduler::pump() {
+  // Trampoline: a task completing (or being abandoned) synchronously calls
+  // finish() -> pump() re-entrantly; the inner call returns immediately and
+  // the outer loop picks up the freed lane, so a long queue of synchronous
+  // tasks drains iteratively instead of one stack frame per task.
+  if (pumping_) return;
+  pumping_ = true;
+  while (in_flight_ < config_.lanes && queued_ > 0) {
+    std::size_t cls = 0;
+    std::size_t pos = 0;
+    if (!pick(cls, pos)) break;
+    admit(cls, pos);
+  }
+  pumping_ = false;
+}
+
+void LaneScheduler::check_consistency() const {
+  if (completed_ + abandoned_ + in_flight_ != launched_) {
+    throw std::logic_error(
+        "LaneScheduler: lane accounting out of balance (completed + "
+        "abandoned + in_flight != launched)");
+  }
+  std::size_t total = 0;
+  for (const std::deque<Entry>& q : queues_) total += q.size();
+  if (total != queued_) {
+    throw std::logic_error("LaneScheduler: queued count out of balance");
+  }
+  if (in_flight_ == 0 &&
+      (!busy_links_.empty() || std::abs(committed_bps_) > kBudgetSlack)) {
+    throw std::logic_error(
+        "LaneScheduler: idle scheduler still holds budget or links");
+  }
+}
+
+void LaneScheduler::record_admissions(std::size_t capacity) {
+  trace_capacity_ = capacity;
+  trace_.clear();
+  trace_emitted_ = 0;
+  if (capacity > 0) trace_.reserve(capacity < 4096 ? capacity : 4096);
+}
+
+void LaneScheduler::attach_observability(obs::Registry& registry,
+                                         std::string prefix,
+                                         std::function<std::int64_t()> now_ns) {
+  if constexpr (!obs::kCompiledIn) {
+    (void)registry;
+    (void)prefix;
+    if (now_ns) set_clock(std::move(now_ns));
+    return;
+  }
+  detach_observability();
+  obs_registry_ = &registry;
+  obs_prefix_ = std::move(prefix);
+  if (now_ns) {
+    set_clock(std::move(now_ns));
+    obs_timed_ = true;
+  } else {
+    obs_timed_ = static_cast<bool>(now_ns_);
+  }
+  registry.gauge_fn(obs_prefix_ + ".in_flight",
+                    [this] { return static_cast<double>(in_flight_); });
+  registry.gauge_fn(obs_prefix_ + ".queued",
+                    [this] { return static_cast<double>(queued_); });
+  registry.gauge_fn(obs_prefix_ + ".launched",
+                    [this] { return static_cast<double>(launched_); });
+  registry.gauge_fn(obs_prefix_ + ".completed",
+                    [this] { return static_cast<double>(completed_); });
+  registry.gauge_fn(obs_prefix_ + ".double_dones",
+                    [this] { return static_cast<double>(double_dones_); });
+  registry.gauge_fn(obs_prefix_ + ".abandoned",
+                    [this] { return static_cast<double>(abandoned_); });
+  registry.gauge_fn(obs_prefix_ + ".lanes", [this] {
+    return config_.lanes == kUnlimited ? -1.0
+                                       : static_cast<double>(config_.lanes);
+  });
+  registry.gauge_fn(obs_prefix_ + ".budget_bps",
+                    [this] { return config_.budget_bps; });
+  registry.gauge_fn(obs_prefix_ + ".committed_bps",
+                    [this] { return committed_bps_; });
+  registry.gauge_fn(obs_prefix_ + ".busy_links", [this] {
+    return static_cast<double>(busy_links_.size());
+  });
+  registry.gauge_fn(obs_prefix_ + ".deferred_budget", [this] {
+    return static_cast<double>(sched_stats_.deferred_budget);
+  });
+  registry.gauge_fn(obs_prefix_ + ".deferred_disjoint", [this] {
+    return static_cast<double>(sched_stats_.deferred_disjoint);
+  });
+  registry.gauge_fn(obs_prefix_ + ".starvation_picks", [this] {
+    return static_cast<double>(sched_stats_.starvation_picks);
+  });
+  registry.gauge_fn(obs_prefix_ + ".priority_inversions", [this] {
+    return static_cast<double>(sched_stats_.priority_inversions);
+  });
+  if (obs_timed_) {
+    obs_slot_wait_ = &registry.histogram(obs_prefix_ + ".slot_wait_ns");
+    obs_slot_hold_ = &registry.histogram(obs_prefix_ + ".slot_hold_ns");
+  }
+}
+
+void LaneScheduler::detach_observability() {
+  if (obs_registry_ == nullptr) return;
+  obs_registry_->remove_prefix(obs_prefix_);
+  obs_registry_ = nullptr;
+  obs_slot_wait_ = nullptr;
+  obs_slot_hold_ = nullptr;
+  obs_timed_ = false;
+}
+
+}  // namespace netmon::core

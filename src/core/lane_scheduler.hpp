@@ -1,0 +1,231 @@
+#pragma once
+
+// Budgeted multi-lane probe scheduler — the generalization of the paper's
+// §5.1.4 test sequencer that makes the C·S path matrix scale past 9×3.
+//
+// The paper offers two extremes: probe every path in parallel (peak overhead
+// C·S·L/P, ≈59 Mbit/s on the HiPer-D matrix) or strictly serialize through
+// a single slot (peak L/P ≈ 2.18 Mbit/s, senescence C·S·T). Neither serves
+// a 10k-path fabric. The lane scheduler admits up to K concurrent probes
+// ("lanes") subject to two admission gates:
+//
+//   budget   — the sum of the declared offered loads of in-flight probes
+//              stays within an intrusiveness budget B bps (optionally
+//              cross-checked against a live meter reading);
+//   disjoint — no two in-flight probes share a link, so concurrent probes
+//              never contend for the same bottleneck and each measurement
+//              stays as clean as a serialized one.
+//
+// Candidates are ranked by priority class with senescence-weighted aging
+// (effective priority grows with queue wait), so resource-manager-critical
+// paths go first but no path starves; a hard starvation limit additionally
+// front-runs any entry that has waited too long. The serial sequencer is
+// the exact special case K=1, B=L/P: with one lane the first admission is
+// always unconditional (progress guarantee), so admission order degrades to
+// FIFO and reproduces the paper's golden trace bit for bit. Senescence
+// generalizes from C·S·T to ⌈C·S/K⌉·T (DESIGN.md §11).
+//
+// Robustness contract (inherited from the original sequencer): a task's
+// Done may be invoked exactly once; extra invocations are counted no-ops, a
+// task that drops its Done uncalled releases the lane as "abandoned", and
+// Dones outliving the scheduler degrade to no-ops. Lane accounting is
+// self-checking (check_consistency()).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace netmon::core {
+
+// Opaque identity of a network medium (link or shared segment) occupied by a
+// probe. Only equality matters; callers derive keys from topology objects.
+using LinkKey = std::uint64_t;
+
+// Admission priority classes (paper §4.1: the resource manager names which
+// paths it is actively making reconfiguration decisions about).
+enum class ProbeClass : std::uint8_t {
+  kBackground = 0,  // bulk matrix coverage
+  kNormal = 1,      // default
+  kCritical = 2,    // resource-manager-critical paths
+};
+constexpr std::size_t kProbeClassCount = 3;
+const char* to_string(ProbeClass cls);
+
+// What one queued probe will do to the network while it runs: the admission
+// gates weigh this, the trace records it. An empty profile (unknown load,
+// unknown footprint) is always admissible — constraints can only be applied
+// to probes that declare themselves.
+struct ProbeProfile {
+  double offered_bps = 0.0;        // declared peak load while in flight
+  ProbeClass priority = ProbeClass::kNormal;
+  std::uint64_t tag = 0;           // caller identity (e.g. PathId) for traces
+  std::vector<LinkKey> footprint;  // media the probe occupies, in route order
+};
+
+struct SchedulerConfig {
+  // K: concurrent lanes. 1 reproduces the paper's serial test sequencer.
+  std::size_t lanes = 1;
+  // B: intrusiveness budget in bps over the declared offered loads of
+  // in-flight probes. 0 disables the gate. An idle scheduler always admits
+  // one probe regardless of B (progress guarantee) — the serial sequencer
+  // itself offers exactly L/P, which must not deadlock under B = L/P.
+  double budget_bps = 0.0;
+  // Reject concurrent probes whose footprints share any LinkKey.
+  bool link_disjoint = false;
+  // Senescence-weighted aging: effective priority = class·8 + wait/quantum,
+  // so a queued probe gains one class level per 8 quanta waited and any
+  // class eventually outranks any other. Zero disables aging (pure class
+  // order, FIFO within class).
+  std::int64_t aging_quantum_ns = 500'000'000;  // 500 ms
+  // Hard bound: an entry that has waited at least this long is admitted
+  // before any non-starving entry (oldest first), still subject to the
+  // budget/disjoint gates. Zero disables.
+  std::int64_t starvation_limit_ns = 0;
+};
+
+struct SchedulerStats {
+  std::uint64_t admitted = 0;            // == launched
+  std::uint64_t deferred_budget = 0;     // scan skips due to the budget gate
+  std::uint64_t deferred_disjoint = 0;   // scan skips due to shared links
+  std::uint64_t starvation_picks = 0;    // admissions forced by the limit
+  std::uint64_t priority_inversions = 0; // admitted over an older entry
+};
+
+// One admission, in admission order — the deterministic trace the property
+// tests replay (same seed ⇒ identical trace).
+struct AdmissionRecord {
+  std::uint64_t admit_seq = 0;  // 0-based admission index
+  std::int64_t at_ns = 0;       // scheduler clock at admission
+  std::uint64_t entry_seq = 0;  // enqueue order of the admitted entry
+  std::uint64_t tag = 0;        // ProbeProfile::tag
+  ProbeClass priority = ProbeClass::kNormal;
+  double offered_bps = 0.0;
+  std::uint32_t in_flight_after = 0;
+};
+
+class LaneScheduler {
+ public:
+  // A task receives a completion callback it must invoke exactly once.
+  using Done = std::function<void()>;
+  using Task = std::function<void(Done)>;
+
+  static constexpr std::size_t kUnlimited =
+      std::numeric_limits<std::size_t>::max();
+
+  explicit LaneScheduler(SchedulerConfig config = {});
+  ~LaneScheduler();
+  LaneScheduler(const LaneScheduler&) = delete;
+  LaneScheduler& operator=(const LaneScheduler&) = delete;
+
+  void configure(const SchedulerConfig& config);
+  const SchedulerConfig& config() const { return config_; }
+  void set_lanes(std::size_t lanes);
+
+  // Clock used for aging, starvation, and trace timestamps. Without one the
+  // scheduler is timeless: aging is inert and admission is class-then-FIFO.
+  void set_clock(std::function<std::int64_t()> now_ns);
+
+  // Live load reading (e.g. obs::IntrusivenessMeter's last monitoring-class
+  // sample). When set and the budget gate is active, a candidate is also
+  // held back while `live() + offered > B` — unless the scheduler is idle,
+  // preserving the progress guarantee.
+  void set_load_probe(std::function<double()> live_bps);
+
+  void enqueue(Task task) { enqueue(std::move(task), ProbeProfile{}); }
+  void enqueue(Task task, ProbeProfile profile);
+
+  std::size_t in_flight() const { return in_flight_; }
+  std::size_t queued() const { return queued_; }
+  std::uint64_t launched() const { return launched_; }
+  std::uint64_t completed() const { return completed_; }
+  // Contract violations absorbed: extra Done invocations beyond the first,
+  // and lanes reclaimed because every copy of a Done was destroyed uncalled.
+  std::uint64_t double_dones() const { return double_dones_; }
+  std::uint64_t abandoned() const { return abandoned_; }
+  bool idle() const { return in_flight_ == 0 && queued_ == 0; }
+  // Declared load committed to in-flight probes (the budget gate's view).
+  double committed_bps() const { return committed_bps_; }
+  // Links occupied by in-flight probes (multiset cardinality).
+  std::size_t busy_links() const { return busy_links_.size(); }
+  const SchedulerStats& scheduler_stats() const { return sched_stats_; }
+
+  // Lane-accounting invariant: every launch is exactly one of completed,
+  // abandoned, or still in flight; plus the committed budget and busy-link
+  // multiset must drain to zero when nothing is in flight. Throws
+  // std::logic_error on violation.
+  void check_consistency() const;
+
+  // Bounded admission trace; capacity 0 (default) disables recording.
+  void record_admissions(std::size_t capacity);
+  const std::vector<AdmissionRecord>& admissions() const { return trace_; }
+  std::uint64_t admissions_recorded() const { return trace_emitted_; }
+
+  // Self-observability (DESIGN.md §10/§11). Registers "<prefix>." counters
+  // and gauges plus, when `now_ns` is provided, slot-wait and slot-hold
+  // histograms (the serialization stall a probe suffers between enqueue and
+  // launch is exactly the senescence the paper trades for bounded
+  // intrusiveness). A now_ns passed here also becomes the scheduler clock.
+  void attach_observability(obs::Registry& registry,
+                            std::string prefix = "sequencer",
+                            std::function<std::int64_t()> now_ns = {});
+  void detach_observability();
+
+ private:
+  struct DoneState;
+  struct Entry {
+    Task fn;
+    ProbeProfile profile;
+    std::int64_t enqueued_ns = 0;
+    std::uint64_t seq = 0;
+  };
+
+  std::int64_t now() const { return now_ns_ ? now_ns_() : 0; }
+  bool gates_admit(const Entry& entry, bool idle_scheduler);
+  // Scans class queues for the best admissible candidate; returns false if
+  // nothing can be admitted right now.
+  bool pick(std::size_t& cls_out, std::size_t& pos_out);
+  void admit(std::size_t cls, std::size_t pos);
+  void finish(DoneState& state, bool abandoned);
+  void pump();
+
+  SchedulerConfig config_;
+  std::size_t in_flight_ = 0;
+  std::size_t queued_ = 0;
+  std::uint64_t launched_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t double_dones_ = 0;
+  std::uint64_t abandoned_ = 0;
+  std::uint64_t next_entry_seq_ = 0;
+  double committed_bps_ = 0.0;
+  bool pumping_ = false;  // flattens re-entrant pumps into the outer loop
+  // One FIFO per class: within a class an older entry never ranks below a
+  // younger one, so each class's best admissible candidate is the first
+  // admissible entry in queue order.
+  std::deque<Entry> queues_[kProbeClassCount];
+  std::unordered_map<LinkKey, std::uint32_t> busy_links_;
+  SchedulerStats sched_stats_;
+  std::function<std::int64_t()> now_ns_;
+  std::function<double()> live_bps_;
+  std::vector<AdmissionRecord> trace_;
+  std::size_t trace_capacity_ = 0;
+  std::uint64_t trace_emitted_ = 0;
+  // Liveness token observed (weakly) by outstanding Done callbacks so a
+  // Done fired after the scheduler is gone cannot touch freed memory.
+  std::shared_ptr<int> liveness_ = std::make_shared<int>(0);
+
+  // Observability handles (null while detached; owned by the registry).
+  obs::Registry* obs_registry_ = nullptr;
+  std::string obs_prefix_;
+  bool obs_timed_ = false;
+  obs::Histogram* obs_slot_wait_ = nullptr;
+  obs::Histogram* obs_slot_hold_ = nullptr;
+};
+
+}  // namespace netmon::core

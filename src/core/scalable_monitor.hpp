@@ -53,6 +53,13 @@ class ScalableMonitor {
     SnmpSensor::Config sensor;
     // SNMP polls are light; modest parallelism is the realistic default.
     std::size_t max_concurrent = 8;
+    // Budgeted multi-lane scheduling (DESIGN.md §11); the default defers
+    // the lane count to max_concurrent above. SNMP polls carry no declared
+    // load, so the budget/disjoint gates only bind if the caller installs a
+    // profiler via director().set_probe_profiler().
+    SchedulerConfig scheduling;
+    // Samples retained per (path, metric) series.
+    std::size_t history_depth = 64;
     // Deadline/retry/breaker supervision; all off by default.
     SupervisionConfig supervision;
   };

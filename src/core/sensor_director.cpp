@@ -31,8 +31,16 @@ SensorDirector::SensorDirector(sim::Simulator& sim, std::size_t max_concurrent)
     : SensorDirector(sim, max_concurrent, SupervisionConfig{}) {}
 
 SensorDirector::SensorDirector(sim::Simulator& sim, std::size_t max_concurrent,
-                               SupervisionConfig supervision)
-    : sim_(sim), sequencer_(max_concurrent), supervision_(supervision) {}
+                               SupervisionConfig supervision,
+                               std::size_t history_depth)
+    : sim_(sim),
+      sequencer_(max_concurrent),
+      database_(history_depth),
+      supervision_(supervision) {
+  // Simulation time drives the scheduler's senescence-weighted aging and
+  // starvation accounting (inert under the default FIFO configuration).
+  sequencer_.set_clock([this] { return sim_.now().nanos(); });
+}
 
 SensorDirector::~SensorDirector() { detach_observability(); }
 
@@ -127,15 +135,22 @@ void SensorDirector::start_round(std::shared_ptr<ActiveRequest> request) {
       job->path = pr.path;
       job->path_id = path_id;
       job->metric = metric;
+      job->priority = pr.priority;
       enqueue_job(std::move(job));
     }
   }
 }
 
 void SensorDirector::enqueue_job(std::shared_ptr<Job> job) {
-  sequencer_.enqueue([this, job = std::move(job)](TestSequencer::Done done) {
-    launch(job, std::move(done));
-  });
+  ProbeProfile profile;
+  if (profiler_) profile = profiler_(job->path, job->metric);
+  profile.priority = job->priority;
+  profile.tag = job->path_id;
+  sequencer_.enqueue(
+      [this, job = std::move(job)](TestSequencer::Done done) {
+        launch(job, std::move(done));
+      },
+      std::move(profile));
 }
 
 void SensorDirector::launch(std::shared_ptr<Job> job,

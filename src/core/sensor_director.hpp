@@ -49,6 +49,10 @@ class NetworkSensor {
 struct PathRequest {
   Path path;
   std::vector<Metric> metrics;
+  // Lane-scheduler admission class (DESIGN.md §11): paths the resource
+  // manager is actively deciding about go kCritical; bulk matrix coverage
+  // can ride kBackground. Ignored by the default FIFO configuration.
+  ProbeClass priority = ProbeClass::kNormal;
 };
 
 struct MonitorRequest {
@@ -143,7 +147,8 @@ class SensorDirector {
 
   SensorDirector(sim::Simulator& sim, std::size_t max_concurrent = 1);
   SensorDirector(sim::Simulator& sim, std::size_t max_concurrent,
-                 SupervisionConfig supervision);
+                 SupervisionConfig supervision,
+                 std::size_t history_depth = 64);
   ~SensorDirector();
 
   // Sensor registration; the last *primary* registered for a metric wins
@@ -162,6 +167,20 @@ class SensorDirector {
     supervision_ = supervision;
   }
   const SupervisionConfig& supervision() const { return supervision_; }
+
+  // Lane-scheduler generalization (DESIGN.md §11). set_scheduling replaces
+  // the embedded scheduler's configuration (lanes, budget, disjointness,
+  // aging); the profiler, when set, describes each measurement's offered
+  // load and link footprint to the admission gates — without one every
+  // probe is unconstrained (tag and priority are still filled in). Changes
+  // affect admissions from the next pump; already-launched probes finish.
+  using ProbeProfiler = std::function<ProbeProfile(const Path&, Metric)>;
+  void set_scheduling(const SchedulerConfig& scheduling) {
+    sequencer_.configure(scheduling);
+  }
+  void set_probe_profiler(ProbeProfiler profiler) {
+    profiler_ = std::move(profiler);
+  }
   // Breaker state of a sensor on one path; nullptr if that pair was never
   // exercised with the breaker enabled.
   const SensorHealth* health(const NetworkSensor* sensor,
@@ -210,6 +229,7 @@ class SensorDirector {
     Path path;
     PathId path_id = kInvalidPathId;
     Metric metric = Metric::kThroughput;
+    ProbeClass priority = ProbeClass::kNormal;
     std::size_t sensor_index = 0;  // position in the fallback chain
     int attempt = 0;               // retries consumed on the current sensor
   };
@@ -242,6 +262,7 @@ class SensorDirector {
   MeasurementDatabase database_;
   std::array<std::vector<NetworkSensor*>, kMetricCount> chains_{};
   SupervisionConfig supervision_;
+  ProbeProfiler profiler_;
   std::map<std::pair<const NetworkSensor*, PathId>, SensorHealth> health_;
   std::map<RequestId, std::shared_ptr<ActiveRequest>> requests_;
   RequestId next_id_ = 1;

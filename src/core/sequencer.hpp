@@ -1,104 +1,27 @@
 #pragma once
 
 // Test sequencer (paper §5.1.4): bounds how many active measurements run at
-// once. max_concurrent = unlimited reproduces the intrusive all-paths-in-
-// parallel mode (peak overhead C·S·L/P); max_concurrent = 1 is the paper's
-// serial sequencer (peak overhead L/P, senescence C·S·T).
-//
-// Robustness contract: a task's Done may be invoked exactly once. The slot
-// accounting survives tasks that violate it anyway — a second invocation is
-// a counted no-op, and a task that destroys its Done without ever calling it
-// (a crashed or wedged sensor dropping its callback) releases the slot as
-// "abandoned" instead of leaking it. Done callbacks outliving the sequencer
-// itself degrade to no-ops. Slot accounting is self-checking: a release
-// with no slot held, or counters that stop adding up, throw immediately
-// rather than silently corrupting the concurrency bound (see
-// check_consistency()).
+// once. Since the budgeted multi-lane scheduler landed (DESIGN.md §11) the
+// sequencer is the thin special case of core::LaneScheduler that keeps the
+// paper's vocabulary: max_concurrent = 1 is the paper's serial sequencer
+// (peak overhead L/P, senescence C·S·T), kUnlimited the intrusive
+// all-paths-in-parallel mode (peak C·S·L/P). With the default scheduler
+// config (no budget, no link-disjointness, one priority class) admission is
+// plain FIFO, bit-identical to the pre-lane-scheduler sequencer.
 
-#include <cstdint>
-#include <deque>
-#include <functional>
-#include <limits>
-#include <memory>
-#include <string>
-
-#include "obs/metrics.hpp"
+#include "core/lane_scheduler.hpp"
 
 namespace netmon::core {
 
-class TestSequencer {
+class TestSequencer : public LaneScheduler {
  public:
-  // A task receives a completion callback it must invoke exactly once.
-  using Done = std::function<void()>;
-  using Task = std::function<void(Done)>;
+  explicit TestSequencer(std::size_t max_concurrent = 1)
+      : LaneScheduler(SchedulerConfig{.lanes = max_concurrent}) {}
 
-  static constexpr std::size_t kUnlimited =
-      std::numeric_limits<std::size_t>::max();
-
-  explicit TestSequencer(std::size_t max_concurrent = 1);
-  ~TestSequencer();
-
-  void set_max_concurrent(std::size_t max_concurrent);
-  std::size_t max_concurrent() const { return max_concurrent_; }
-
-  void enqueue(Task task);
-
-  std::size_t in_flight() const { return in_flight_; }
-  std::size_t queued() const { return queue_.size(); }
-  std::uint64_t launched() const { return launched_; }
-  std::uint64_t completed() const { return completed_; }
-  // Contract violations absorbed: extra Done invocations beyond the first,
-  // and slots reclaimed because every copy of a Done was destroyed uncalled.
-  std::uint64_t double_dones() const { return double_dones_; }
-  std::uint64_t abandoned() const { return abandoned_; }
-  bool idle() const { return in_flight_ == 0 && queue_.empty(); }
-
-  // Slot-accounting invariant: every launch is exactly one of completed,
-  // abandoned, or still in flight. Throws std::logic_error on violation.
-  // Cheap; tests call it after every phase of a chaos run.
-  void check_consistency() const;
-
-  // Self-observability (DESIGN.md §10). Registers "<prefix>." counters and
-  // gauges plus, when `now_ns` is provided (the simulator clock), slot-wait
-  // and slot-hold histograms — the serialization stall a task suffers
-  // between enqueue and launch is exactly the senescence the paper trades
-  // for the sequencer's lower intrusiveness. Detached: one null check per
-  // transition.
-  void attach_observability(obs::Registry& registry,
-                            std::string prefix = "sequencer",
-                            std::function<std::int64_t()> now_ns = {});
-  void detach_observability();
-
- private:
-  struct DoneState;
-  struct Entry {
-    Task fn;
-    std::int64_t enqueued_ns;
-  };
-  void finish(bool abandoned, std::int64_t launched_ns);
-  void pump();
-  std::int64_t obs_now() const {
-    return obs_now_ns_ ? obs_now_ns_() : 0;
+  void set_max_concurrent(std::size_t max_concurrent) {
+    set_lanes(max_concurrent);
   }
-
-  std::size_t max_concurrent_;
-  std::size_t in_flight_ = 0;
-  std::uint64_t launched_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t double_dones_ = 0;
-  std::uint64_t abandoned_ = 0;
-  bool pumping_ = false;  // flattens re-entrant pumps into the outer loop
-  std::deque<Entry> queue_;
-  // Liveness token observed (weakly) by outstanding Done callbacks so a
-  // Done fired after the sequencer is gone cannot touch freed memory.
-  std::shared_ptr<int> liveness_ = std::make_shared<int>(0);
-
-  // Observability handles (null while detached; owned by the registry).
-  obs::Registry* obs_registry_ = nullptr;
-  std::string obs_prefix_;
-  std::function<std::int64_t()> obs_now_ns_;
-  obs::Histogram* obs_slot_wait_ = nullptr;
-  obs::Histogram* obs_slot_hold_ = nullptr;
+  std::size_t max_concurrent() const { return config().lanes; }
 };
 
 }  // namespace netmon::core

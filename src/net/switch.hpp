@@ -34,6 +34,14 @@ class Switch {
   // load measurements; dynamic learning still updates the table).
   void learn(MacAddr mac, Nic& port) { mac_table_[mac] = &port; }
 
+  // Learned egress port for a MAC; nullptr when the address is unknown
+  // (a frame for it would flood). Used by Network::route_media to trace
+  // the L2 hops a unicast conversation actually occupies.
+  Nic* port_for(MacAddr mac) const {
+    auto it = mac_table_.find(mac);
+    return it == mac_table_.end() ? nullptr : it->second;
+  }
+
   std::size_t mac_table_size() const { return mac_table_.size(); }
   std::uint64_t frames_forwarded() const { return frames_forwarded_; }
   std::uint64_t frames_flooded() const { return frames_flooded_; }

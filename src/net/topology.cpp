@@ -264,6 +264,84 @@ void Network::auto_route() {
   }
 }
 
+std::vector<const Medium*> Network::route_media(IpAddr src, IpAddr dst) const {
+  std::vector<const Medium*> media;
+  auto push_unique = [&media](const Medium* m) {
+    if (m == nullptr) return;
+    for (const Medium* seen : media) {
+      if (seen == m) return;
+    }
+    media.push_back(m);
+  };
+
+  std::unordered_map<const Nic*, Switch*> port_owner;
+  for (const auto& sw : switches_) {
+    for (const auto& port : sw->ports()) port_owner[port.get()] = sw.get();
+  }
+
+  // Follow one L3 hop at the L2 layer: from the egress nic, across every
+  // switch that forwards toward the hop target's MAC, until the medium the
+  // target sits on. Hop-capped for safety against mispatched tables.
+  auto walk_l2 = [&](const Nic* from, const Nic* target) {
+    const Nic* cur = from;
+    for (int hops = 0; hops < 64 && cur != nullptr; ++hops) {
+      const Medium* medium = cur->medium();
+      if (medium == nullptr) return;
+      push_unique(medium);
+      const Nic* next = nullptr;
+      bool arrived = false;
+      for (Nic* nic : medium->attached_nics()) {
+        if (nic == cur) continue;
+        if (nic == target) {
+          arrived = true;
+          break;
+        }
+        auto owner = port_owner.find(nic);
+        if (owner == port_owner.end() || next != nullptr) continue;
+        Nic* out = owner->second->port_for(target->mac());
+        // out == nic would bounce the frame back where it came from — a
+        // stale table, not a path; treat as unreachable through here.
+        if (out != nullptr && out != nic) next = out;
+      }
+      if (arrived) return;
+      cur = next;  // continue from the forwarding switch's egress port
+    }
+  };
+
+  const Host* cur = host_of(src);
+  for (int hops = 0; hops < 32 && cur != nullptr && !cur->owns_ip(dst);
+       ++hops) {
+    const auto route = cur->routing().lookup(dst);
+    if (!route || route->out == nullptr) break;
+    const IpAddr hop_ip =
+        route->gateway.is_unspecified() ? dst : route->gateway;
+    const Nic* hop_nic = nic_of(hop_ip);
+    if (hop_nic == nullptr) break;
+    walk_l2(route->out, hop_nic);
+    const Host* next = host_of(hop_ip);
+    if (next == cur) break;
+    cur = next;
+  }
+  return media;
+}
+
+std::size_t Network::route_hops(IpAddr src, IpAddr dst) const {
+  std::size_t count = 0;
+  const Host* cur = host_of(src);
+  for (int hops = 0; hops < 32 && cur != nullptr && !cur->owns_ip(dst);
+       ++hops) {
+    const auto route = cur->routing().lookup(dst);
+    if (!route || route->out == nullptr) break;
+    ++count;
+    const IpAddr hop_ip =
+        route->gateway.is_unspecified() ? dst : route->gateway;
+    const Host* next = host_of(hop_ip);
+    if (next == nullptr || next == cur) break;
+    cur = next;
+  }
+  return count;
+}
+
 std::array<std::uint64_t, kTrafficClassCount> Network::octets_by_class()
     const {
   // One count per L3 hop: every frame is charged at the host/router NIC

@@ -93,6 +93,22 @@ class Network {
     return switches_;
   }
 
+  // Media (links and segments) a unicast packet from `src` to `dst`
+  // traverses, in route order and without duplicates: each L3 hop's egress
+  // medium plus every inter-switch trunk the frame crosses, per the current
+  // routing tables and (primed) switch MAC tables. Empty when either
+  // address is unknown or no route exists. Direction matters — asymmetric
+  // routes yield different footprints. The lane scheduler keys on these to
+  // keep concurrent probes link-disjoint (DESIGN.md §11).
+  std::vector<const Medium*> route_media(IpAddr src, IpAddr dst) const;
+
+  // Number of L3 transmissions a unicast packet from `src` to `dst` takes
+  // (1 = direct delivery, +1 per router crossed), per the current routing
+  // tables; 0 when either address is unknown or no route exists. This is
+  // the multiplier between a flow's single-link rate and its contribution
+  // to octets_by_class(), which charges every L3 egress.
+  std::size_t route_hops(IpAddr src, IpAddr dst) const;
+
   // Wire load by traffic class, counted once per L3 hop (egress of hosts
   // and routers; L2 replication inside switches is not double-counted) —
   // the intrusiveness measure of §4.4.

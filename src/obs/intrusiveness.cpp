@@ -68,6 +68,7 @@ void IntrusivenessMeter::sample() {
     const double bps = static_cast<double>(totals[c] - lane.last) * 8.0 /
                        tick_.to_seconds();
     lane.last = totals[c];
+    lane.last_bps = bps;
     if (bps > lane.peak_bps) lane.peak_bps = bps;
     lane.sum_bps += bps;
     lane.bps_hist->observe(bps);

@@ -40,6 +40,11 @@ class IntrusivenessMeter {
     return lanes_[index(cls)].peak_bps;
   }
   double mean_bps(net::TrafficClass cls) const;
+  // Most recent tick's rate — the live reading the lane scheduler's budget
+  // gate cross-checks its declared-load ledger against (DESIGN.md §11).
+  double last_bps(net::TrafficClass cls) const {
+    return lanes_[index(cls)].last_bps;
+  }
   std::uint64_t total_bytes(net::TrafficClass cls) const;
   // Monitoring + management octets as a fraction of all octets carried
   // since attach (0 when nothing moved).
@@ -51,6 +56,7 @@ class IntrusivenessMeter {
     std::uint64_t first = 0;
     std::uint64_t last = 0;
     double peak_bps = 0.0;
+    double last_bps = 0.0;
     double sum_bps = 0.0;
     Histogram* bps_hist = nullptr;  // owned by the registry
   };

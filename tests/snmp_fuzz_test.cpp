@@ -1,0 +1,196 @@
+// Fuzz-style robustness tests for the BER codec (snmp/ber + snmp/pdu):
+// seeded random Messages must survive encode → decode → re-encode with a
+// byte-identical wire image, and arbitrary corruption of valid wire images
+// (truncation at every prefix length, random byte mutations) must either
+// decode to something or throw BerError — never crash, hang, or read out of
+// bounds. The CI sanitize preset (ASan/UBSan) turns the "never read out of
+// bounds" half into a hard check.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "snmp/ber.hpp"
+#include "snmp/pdu.hpp"
+#include "snmp/value.hpp"
+#include "util/rng.hpp"
+
+namespace netmon {
+namespace {
+
+using snmp::Message;
+using snmp::Oid;
+using snmp::Pdu;
+using snmp::PduType;
+using snmp::SnmpValue;
+using snmp::VarBind;
+
+Oid random_oid(util::Rng& rng) {
+  // First two arcs must satisfy the 40·x+y first-byte encoding, so start
+  // every OID at the conventional 1.3 (iso.org) like real MIBs do.
+  std::vector<std::uint32_t> ids{1, 3};
+  const int extra = static_cast<int>(rng.uniform_int(0, 10));
+  for (int i = 0; i < extra; ++i) {
+    // Spread across multi-byte base-128 encodings, including > 2^28.
+    const int magnitude = static_cast<int>(rng.uniform_int(0, 4));
+    const std::int64_t cap = std::int64_t{1} << (7 * (magnitude + 1) > 32
+                                                     ? 32
+                                                     : 7 * (magnitude + 1));
+    ids.push_back(static_cast<std::uint32_t>(rng.uniform_int(0, cap - 1)));
+  }
+  return Oid(std::move(ids));
+}
+
+SnmpValue random_value(util::Rng& rng) {
+  switch (rng.uniform_int(0, 10)) {
+    case 0:
+      return SnmpValue();  // Null
+    case 1: {
+      // Signed integers across all encoded widths, both signs.
+      const int shift = static_cast<int>(rng.uniform_int(0, 62));
+      const std::int64_t magnitude = rng.uniform_int(0, (std::int64_t{1} << shift));
+      return SnmpValue(rng.bernoulli(0.5) ? -magnitude : magnitude);
+    }
+    case 2: {
+      std::string s;
+      const int len = static_cast<int>(rng.uniform_int(0, 300));
+      for (int i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+      }
+      return SnmpValue(std::move(s));
+    }
+    case 3:
+      return SnmpValue(random_oid(rng));
+    case 4:
+      return SnmpValue(net::IpAddr(
+          static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+          static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+          static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+          static_cast<std::uint8_t>(rng.uniform_int(0, 255))));
+    case 5:
+      return SnmpValue(snmp::Counter32{
+          static_cast<std::uint32_t>(rng.next())});
+    case 6:
+      return SnmpValue(snmp::Gauge32{static_cast<std::uint32_t>(rng.next())});
+    case 7:
+      return SnmpValue(snmp::TimeTicks{
+          static_cast<std::uint32_t>(rng.next())});
+    case 8:
+      return SnmpValue(snmp::Counter64{rng.next()});
+    case 9:
+      return SnmpValue(SnmpValue::Storage(snmp::EndOfMibView{}));
+    default:
+      return SnmpValue(SnmpValue::Storage(snmp::NoSuchObject{}));
+  }
+}
+
+Message random_message(util::Rng& rng) {
+  Message msg;
+  const int community_len = static_cast<int>(rng.uniform_int(0, 32));
+  msg.community.clear();
+  for (int i = 0; i < community_len; ++i) {
+    msg.community.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+  }
+  msg.pdu.type = static_cast<PduType>(rng.uniform_int(0, 5));
+  msg.pdu.request_id = static_cast<std::int32_t>(
+      rng.uniform_int(std::numeric_limits<std::int32_t>::min(),
+                      std::numeric_limits<std::int32_t>::max()));
+  if (msg.pdu.type == PduType::kGetBulk) {
+    msg.pdu.set_bulk(static_cast<std::int32_t>(rng.uniform_int(0, 5)),
+                     static_cast<std::int32_t>(rng.uniform_int(0, 100)));
+  } else {
+    msg.pdu.error_status =
+        static_cast<snmp::ErrorStatus>(rng.uniform_int(0, 5));
+    msg.pdu.error_index = static_cast<std::int32_t>(rng.uniform_int(0, 20));
+  }
+  const int binds = static_cast<int>(rng.uniform_int(0, 12));
+  for (int i = 0; i < binds; ++i) {
+    msg.pdu.varbinds.push_back(VarBind{random_oid(rng), random_value(rng)});
+  }
+  return msg;
+}
+
+TEST(SnmpFuzz, EncodeDecodeReEncodeIsByteIdentical) {
+  util::Rng rng(0xBE12);
+  for (int i = 0; i < 2000; ++i) {
+    const Message original = random_message(rng);
+    const std::vector<std::uint8_t> wire = original.encode();
+    Message decoded;
+    try {
+      decoded = Message::decode(wire);
+    } catch (const snmp::BerError& e) {
+      FAIL() << "round " << i << ": valid encoding rejected: " << e.what();
+    }
+    EXPECT_EQ(decoded.community, original.community) << "round " << i;
+    EXPECT_EQ(decoded.pdu.type, original.pdu.type) << "round " << i;
+    EXPECT_EQ(decoded.pdu.request_id, original.pdu.request_id)
+        << "round " << i;
+    EXPECT_EQ(decoded.pdu.varbinds, original.pdu.varbinds) << "round " << i;
+    const std::vector<std::uint8_t> rewire = decoded.encode();
+    ASSERT_EQ(rewire, wire) << "round " << i
+                            << ": re-encoding is not byte-identical";
+  }
+}
+
+TEST(SnmpFuzz, TruncatedBuffersErrorButNeverCrash) {
+  util::Rng rng(0x7A11);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<std::uint8_t> wire = random_message(rng).encode();
+    // Every proper prefix is malformed: BER lengths are definite, so a cut
+    // anywhere leaves some TLV short.
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+      try {
+        (void)Message::decode(std::span(wire.data(), len));
+        ADD_FAILURE() << "round " << i << ": truncation to " << len << "/"
+                      << wire.size() << " bytes decoded successfully";
+      } catch (const snmp::BerError&) {
+        // expected
+      }
+    }
+  }
+}
+
+TEST(SnmpFuzz, MutatedBuffersEitherDecodeOrThrowBerError) {
+  util::Rng rng(0xF00D);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> wire = random_message(rng).encode();
+    if (wire.empty()) continue;
+    const int mutations = static_cast<int>(rng.uniform_int(1, 8));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(wire.size()) - 1));
+      wire[pos] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    try {
+      const Message decoded = Message::decode(wire);
+      // A surviving mutant must still re-encode cleanly — decode may only
+      // produce structurally valid messages.
+      (void)decoded.encode();
+    } catch (const snmp::BerError&) {
+      // Equally fine: the mutation broke the framing.
+    }
+  }
+}
+
+TEST(SnmpFuzz, RandomGarbageNeverCrashes) {
+  util::Rng rng(0xDEAD);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> junk(
+        static_cast<std::size_t>(rng.uniform_int(0, 600)));
+    for (std::uint8_t& b : junk) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    try {
+      (void)Message::decode(junk);
+    } catch (const snmp::BerError&) {
+      // expected for almost all inputs
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netmon

@@ -10,6 +10,7 @@
 
 #include "core/lane_scheduler.hpp"
 #include "core/measurement_db.hpp"
+#include "ctrl/control_plane.hpp"
 #include "net/topology.hpp"
 #include "net/udp.hpp"
 #include "obs/metrics.hpp"
@@ -274,6 +275,46 @@ void BM_MeasurementDbWorkingSetByIdObserved(benchmark::State& state) {
                           core::kMetricCount);
 }
 BENCHMARK(BM_MeasurementDbWorkingSetByIdObserved);
+
+// Control-plane rule evaluation on the tuple hot path (DESIGN.md §12).
+// Arg(0): liveness bookkeeping only. Arg(1): priority boost enabled, so
+// every latency tuple additionally feeds the per-path P² p90 sketch and
+// runs the volatility drift check. No manager is attached, so evaluation
+// cost is isolated from actuation cost.
+void BM_ControlPolicyEvaluate(benchmark::State& state) {
+  const bool with_drift = state.range(0) != 0;
+  sim::Simulator sim;
+  net::Network network(sim, util::Rng(3));
+  ctrl::ControlConfig config;
+  config.enabled = true;
+  config.route_failover = false;
+  config.probe_retuning = false;
+  config.priority_boost = with_drift;
+  ctrl::ControlPlane plane(sim, network, config);
+
+  const auto paths = sample_paths();
+  std::vector<core::PathMetricTuple> tuples;
+  std::int64_t t = 0;
+  for (const core::Path& p : paths) {
+    core::PathMetricTuple tuple;
+    tuple.path = p;
+    tuple.metric = core::Metric::kOneWayLatency;
+    // Mild jitter: exercises the sketch without tripping the drift rule
+    // on every sample.
+    tuple.value = core::MetricValue::of(0.001 + 0.0001 * (t % 7),
+                                        sim::TimePoint::from_nanos(++t));
+    tuples.push_back(tuple);
+  }
+
+  for (auto _ : state) {
+    for (const auto& tuple : tuples) {
+      plane.observe_tuple("bench", tuple);
+    }
+    benchmark::DoNotOptimize(plane.stats().tuples_seen);
+  }
+  state.SetItemsProcessed(state.iterations() * tuples.size());
+}
+BENCHMARK(BM_ControlPolicyEvaluate)->Arg(0)->Arg(1);
 
 void BM_SimulatedUdpRoundTrip(benchmark::State& state) {
   for (auto _ : state) {

@@ -137,6 +137,37 @@ core::Path FabricTestbed::path(int server, int client) const {
                             kRtdsPort});
 }
 
+void FabricTestbed::provision_standby(int server, int client) {
+  if (options_.spines < 2) {
+    throw std::logic_error("FabricTestbed: standby routes need >= 2 spines");
+  }
+  net::Host& s_host = *servers_.at(server);
+  net::Host& c_host = *clients_.at(client);
+  const int se = server / options_.servers_per_edge;
+  const int ce = client / options_.clients_per_edge;
+  // One spine past the edge's designated one (assign_spine's edge % spines).
+  const int s_alt = (se % options_.spines + 1) % options_.spines;
+  const int c_alt = (ce % options_.spines + 1) % options_.spines;
+  s_host.routing().add_standby(
+      net::Prefix(c_host.primary_ip(), 32),
+      net::IpAddr(10, 2, static_cast<std::uint8_t>(se),
+                  static_cast<std::uint8_t>(200 + s_alt)),
+      s_host.nics().front().get());
+  c_host.routing().add_standby(
+      net::Prefix(s_host.primary_ip(), 32),
+      net::IpAddr(10, 1, static_cast<std::uint8_t>(ce),
+                  static_cast<std::uint8_t>(200 + c_alt)),
+      c_host.nics().front().get());
+}
+
+std::size_t FabricTestbed::provision_standby_matrix() {
+  for (int s = 0; s < server_count(); ++s) {
+    for (int c = 0; c < client_count(); ++c) provision_standby(s, c);
+  }
+  return static_cast<std::size_t>(server_count()) *
+         static_cast<std::size_t>(client_count());
+}
+
 std::vector<core::PathRequest> FabricTestbed::full_matrix(
     std::vector<core::Metric> metrics, core::ProbeClass priority,
     SweepOrder order) const {

@@ -71,6 +71,15 @@ class FabricTestbed {
       SweepOrder order = SweepOrder::kServerMajor) const;
   core::Path path(int server, int client) const;
 
+  // Pre-provisions standby /32 routes for both endpoints of (server,
+  // client) through the *next* spine after each edge's designated one —
+  // the alternative the control plane's route-failover actuator swaps in
+  // (DESIGN.md §12). The /32 longest-prefix-overrides the leaf's default
+  // route once swapped active. Requires at least two spines.
+  void provision_standby(int server, int client);
+  // Standby routes for the whole S×C matrix; returns paths provisioned.
+  std::size_t provision_standby_matrix();
+
   core::SinkSet& sinks() { return sinks_; }
 
  private:

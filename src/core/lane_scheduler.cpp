@@ -1,5 +1,6 @@
 #include "core/lane_scheduler.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -276,6 +277,37 @@ void LaneScheduler::pump() {
     admit(cls, pos);
   }
   pumping_ = false;
+}
+
+std::size_t LaneScheduler::reprioritize(std::uint64_t tag, ProbeClass cls) {
+  const std::size_t target = static_cast<std::size_t>(cls);
+  if (target >= kProbeClassCount) {
+    throw std::invalid_argument("LaneScheduler: bad probe class");
+  }
+  std::vector<Entry> moving;
+  for (std::size_t c = 0; c < kProbeClassCount; ++c) {
+    if (c == target) continue;
+    std::deque<Entry>& q = queues_[c];
+    for (auto it = q.begin(); it != q.end();) {
+      if (it->profile.tag == tag) {
+        moving.push_back(std::move(*it));
+        it = q.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  std::deque<Entry>& dst = queues_[target];
+  for (Entry& e : moving) {
+    e.profile.priority = cls;
+    const auto pos = std::lower_bound(
+        dst.begin(), dst.end(), e.seq,
+        [](const Entry& a, std::uint64_t seq) { return a.seq < seq; });
+    dst.insert(pos, std::move(e));
+  }
+  const std::size_t moved = moving.size();
+  if (moved != 0) pump();
+  return moved;
 }
 
 void LaneScheduler::check_consistency() const {

@@ -162,6 +162,14 @@ class LaneScheduler {
   // std::logic_error on violation.
   void check_consistency() const;
 
+  // Re-classifies every queued entry whose profile tag equals `tag`
+  // (DESIGN.md §12: the control plane concentrates probe budget on volatile
+  // or decision-critical paths). Moved entries keep their enqueue seq and
+  // merge into the destination class in seq order, preserving the per-class
+  // FIFO invariant; in-flight probes are unaffected. Returns the number of
+  // entries moved.
+  std::size_t reprioritize(std::uint64_t tag, ProbeClass cls);
+
   // Bounded admission trace; capacity 0 (default) disables recording.
   void record_admissions(std::size_t capacity);
   const std::vector<AdmissionRecord>& admissions() const { return trace_; }

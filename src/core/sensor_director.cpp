@@ -113,6 +113,46 @@ void SensorDirector::cancel(RequestId id) {
   requests_.erase(it);
 }
 
+bool SensorDirector::retune_period(RequestId id, sim::Duration period) {
+  auto it = requests_.find(id);
+  if (it == requests_.end() || period.nanos() <= 0) return false;
+  it->second->request.period = period;
+  return true;
+}
+
+std::optional<sim::Duration> SensorDirector::period_of(RequestId id) const {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return std::nullopt;
+  return it->second->request.period;
+}
+
+bool SensorDirector::set_path_priority(RequestId id, const Path& path,
+                                       ProbeClass priority) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return false;
+  bool found = false;
+  for (PathRequest& pr : it->second->request.paths) {
+    if (pr.path == path) {
+      pr.priority = priority;
+      found = true;
+    }
+  }
+  if (!found) return false;
+  const PathId path_id = database_.find(path);
+  if (path_id != kInvalidPathId) sequencer_.reprioritize(path_id, priority);
+  return true;
+}
+
+std::optional<ProbeClass> SensorDirector::path_priority(
+    RequestId id, const Path& path) const {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return std::nullopt;
+  for (const PathRequest& pr : it->second->request.paths) {
+    if (pr.path == path) return pr.priority;
+  }
+  return std::nullopt;
+}
+
 void SensorDirector::start_round(std::shared_ptr<ActiveRequest> request) {
   if (request->cancelled) return;
   request->round_started = sim_.now();

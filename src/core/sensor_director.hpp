@@ -22,6 +22,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -191,6 +192,24 @@ class SensorDirector {
                    RoundCallback on_round = nullptr);
   void cancel(RequestId id);
   bool active(RequestId id) const { return requests_.count(id) != 0; }
+
+  // --- control-plane retuning hooks (DESIGN.md §12) -----------------------
+  // Adjusts a live request's period in place. The change takes effect when
+  // the *next* round is scheduled — the in-flight round's cadence was fixed
+  // when it started. Only meaningful for kPeriodic requests (kContinuous
+  // ignores the period). False for unknown requests or non-positive periods.
+  bool retune_period(RequestId id, sim::Duration period);
+  std::optional<sim::Duration> period_of(RequestId id) const;
+  // Re-classifies one path of a live request: probes of that path already
+  // queued in the lane scheduler are re-ranked immediately (by PathId tag,
+  // so other requests sharing the path move with it), and every subsequent
+  // round enqueues the path at the new class. False when the request does
+  // not carry the path.
+  bool set_path_priority(RequestId id, const Path& path, ProbeClass priority);
+  // Current class of one path of a live request (first match); nullopt when
+  // the request or path is unknown.
+  std::optional<ProbeClass> path_priority(RequestId id,
+                                          const Path& path) const;
 
   MeasurementDatabase& database() { return database_; }
   const MeasurementDatabase& database() const { return database_; }

@@ -1,0 +1,89 @@
+#include "ctrl/actuators.hpp"
+
+#include <cmath>
+
+namespace netmon::ctrl {
+
+namespace {
+
+// The /32 a leg endpoint must be able to reach through a standby route.
+net::Prefix peer_prefix(net::IpAddr peer) { return net::Prefix(peer, 32); }
+
+}  // namespace
+
+bool RouteFailoverActuator::available(const core::Path& path) const {
+  for (std::size_t i = 0; i < path.leg_count(); ++i) {
+    const auto [from, to] = path.leg(i);
+    net::Host* src = network_.host_of(from.host);
+    net::Host* dst = network_.host_of(to.host);
+    if (src == nullptr || dst == nullptr) return false;
+    if (!src->routing().has_standby(peer_prefix(to.host))) return false;
+    if (!dst->routing().has_standby(peer_prefix(from.host))) return false;
+  }
+  return true;
+}
+
+bool RouteFailoverActuator::apply(const core::Path& path) {
+  if (!available(path)) return false;
+  for (std::size_t i = 0; i < path.leg_count(); ++i) {
+    const auto [from, to] = path.leg(i);
+    network_.host_of(from.host)->routing().swap_standby(peer_prefix(to.host));
+    network_.host_of(to.host)->routing().swap_standby(peer_prefix(from.host));
+  }
+  ++swaps_;
+  return true;
+}
+
+bool ProbeRetuneActuator::set_level(int level) {
+  if (!base_known_) {
+    const auto period = director_.period_of(request_);
+    if (!period) return false;
+    base_ = *period;
+    base_known_ = true;
+  }
+  const double scale = std::pow(factor_, level);
+  const auto target =
+      sim::Duration::ns(static_cast<std::int64_t>(
+          static_cast<double>(base_.nanos()) * scale));
+  if (!director_.retune_period(request_, target)) return false;
+  level_ = level;
+  return true;
+}
+
+bool ProbeRetuneActuator::stretch() {
+  if (level_ >= max_levels_) return false;
+  return set_level(level_ + 1);
+}
+
+bool ProbeRetuneActuator::restore() {
+  if (level_ <= 0) return false;
+  return set_level(level_ - 1);
+}
+
+bool PriorityBoostActuator::boost(core::SensorDirector::RequestId request,
+                                  const core::Path& path,
+                                  core::ProbeClass to) {
+  const auto key = std::make_pair(request, path.hash());
+  if (original_.count(key) != 0) return false;  // already boosted
+  const auto current = director_.path_priority(request, path);
+  if (!current || *current == to) return false;
+  if (!director_.set_path_priority(request, path, to)) return false;
+  original_.emplace(key, *current);
+  ++boosts_;
+  return true;
+}
+
+bool PriorityBoostActuator::restore(core::SensorDirector::RequestId request,
+                                    const core::Path& path) {
+  const auto key = std::make_pair(request, path.hash());
+  auto it = original_.find(key);
+  if (it == original_.end()) return false;
+  const core::ProbeClass back = it->second;
+  // Drop the bookkeeping even if the request died — a vanished request
+  // must not pin the path "boosted" forever.
+  original_.erase(it);
+  ++restores_;
+  return director_.set_path_priority(request, path, back);
+}
+
+}  // namespace netmon::ctrl

@@ -1,0 +1,109 @@
+#pragma once
+
+// Concrete actuators the control plane drives (DESIGN.md §12). Each one
+// wraps an existing substrate knob behind an apply/rollback pair so the
+// ControlPolicy engine can run the full deadline-verify-rollback lifecycle
+// on it:
+//
+//   RouteFailoverActuator — swaps pre-provisioned standby routes
+//     (net::RoutingTable::swap_standby) at both endpoint hosts of a path;
+//     rollback is the same swap, since the swap is an involution.
+//   ProbeRetuneActuator — stretches and restores one MonitorRequest's
+//     period through SensorDirector::retune_period, level by level, so
+//     monitoring fidelity degrades gracefully under intrusiveness pressure
+//     instead of blowing the budget.
+//   PriorityBoostActuator — re-classifies a path of a live request through
+//     SensorDirector::set_path_priority so the lane scheduler concentrates
+//     probe budget on it.
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "core/path.hpp"
+#include "core/sensor_director.hpp"
+#include "net/topology.hpp"
+
+namespace netmon::ctrl {
+
+class RouteFailoverActuator {
+ public:
+  explicit RouteFailoverActuator(net::Network& network) : network_(network) {}
+
+  // Both endpoints resolve to hosts and every leg has standby routes for
+  // its peer /32s in both directions.
+  bool available(const core::Path& path) const;
+  // Swaps active and standby routes for every leg of the path, forward and
+  // reverse (results must flow back too). All-or-nothing: a partially
+  // swappable path is refused untouched.
+  bool apply(const core::Path& path);
+  // The standby swap is an involution: rolling back is applying again.
+  void rollback(const core::Path& path) { (void)apply(path); }
+
+  std::uint64_t swaps() const { return swaps_; }
+
+ private:
+  net::Network& network_;
+  std::uint64_t swaps_ = 0;
+};
+
+class ProbeRetuneActuator {
+ public:
+  ProbeRetuneActuator(core::SensorDirector& director,
+                      core::SensorDirector::RequestId request, double factor,
+                      int max_levels)
+      : director_(director),
+        request_(request),
+        factor_(factor),
+        max_levels_(max_levels) {}
+
+  // One more stretch level: period := base × factor^(level+1). False at
+  // max_levels or when the director refuses (request gone).
+  bool stretch();
+  // One level back toward the base period. False at level 0.
+  bool restore();
+
+  int level() const { return level_; }
+  sim::Duration base_period() const { return base_; }
+  core::SensorDirector::RequestId request() const { return request_; }
+
+ private:
+  bool set_level(int level);
+
+  core::SensorDirector& director_;
+  core::SensorDirector::RequestId request_;
+  double factor_;
+  int max_levels_;
+  int level_ = 0;
+  sim::Duration base_{};
+  bool base_known_ = false;
+};
+
+class PriorityBoostActuator {
+ public:
+  explicit PriorityBoostActuator(core::SensorDirector& director)
+      : director_(director) {}
+
+  // Boosts one path of a request to `to`, remembering the class it had so
+  // restore() can put it back. False when the request/path is unknown or
+  // the path is already boosted.
+  bool boost(core::SensorDirector::RequestId request, const core::Path& path,
+             core::ProbeClass to = core::ProbeClass::kCritical);
+  bool restore(core::SensorDirector::RequestId request,
+               const core::Path& path);
+
+  std::size_t boosted() const { return original_.size(); }
+  std::uint64_t boosts() const { return boosts_; }
+  std::uint64_t restores() const { return restores_; }
+
+ private:
+  core::SensorDirector& director_;
+  // (request, path-hash) -> class before the boost.
+  std::map<std::pair<core::SensorDirector::RequestId, std::size_t>,
+           core::ProbeClass>
+      original_;
+  std::uint64_t boosts_ = 0;
+  std::uint64_t restores_ = 0;
+};
+
+}  // namespace netmon::ctrl

@@ -40,6 +40,16 @@ void ResourceManager::manage(ManagedApplication app,
     throw std::invalid_argument(
         "ResourceManager::manage: initial server not in pool");
   }
+  // The <= 0 sentinels disable individual checks; all of them disabled at
+  // once means no sample could ever strike — reject the misconfiguration
+  // instead of monitoring a matrix that can never trigger anything.
+  const Requirements& req = app.requirements;
+  if (!req.require_reachability && req.min_throughput_bps <= 0.0 &&
+      req.max_latency_s <= 0.0) {
+    throw std::invalid_argument("ResourceManager::manage: every requirement "
+                                "of " +
+                                app.name + " is disabled");
+  }
   const std::string name = app.name;
   AppState state;
   state.app = std::move(app);
@@ -114,6 +124,41 @@ void ResourceManager::on_tuple(const std::string& app_name,
     strikes = 0;
   }
   maybe_reconfigure(state);
+  if (tuple_observer_) tuple_observer_(app_name, tuple);
+}
+
+int ResourceManager::path_strikes(const std::string& application,
+                                  net::IpAddr server,
+                                  net::IpAddr client) const {
+  auto it = apps_.find(application);
+  if (it == apps_.end()) return 0;
+  auto sit = it->second.strikes.find({server, client});
+  return sit == it->second.strikes.end() ? 0 : sit->second;
+}
+
+std::size_t ResourceManager::strike_entries() const {
+  std::size_t total = 0;
+  for (const auto& [name, state] : apps_) total += state.strikes.size();
+  return total;
+}
+
+const ManagedApplication* ResourceManager::application(
+    const std::string& name) const {
+  auto it = apps_.find(name);
+  return it == apps_.end() ? nullptr : &it->second.app;
+}
+
+std::vector<std::string> ResourceManager::applications() const {
+  std::vector<std::string> names;
+  names.reserve(apps_.size());
+  for (const auto& [name, state] : apps_) names.push_back(name);
+  return names;
+}
+
+core::SensorDirector::RequestId ResourceManager::request_id(
+    const std::string& application) const {
+  auto it = apps_.find(application);
+  return it == apps_.end() ? 0 : it->second.request;
 }
 
 double ResourceManager::failing_fraction(const std::string& application,
@@ -173,6 +218,17 @@ void ResourceManager::maybe_reconfigure(AppState& state) {
   const net::IpAddr old_server = state.active;
   state.active = *replacement;
   ++reconfigurations_;
+  // Prune the server we are leaving: its (server, client) entries would
+  // otherwise accumulate forever across failovers (the map is keyed by
+  // every pool member ever active). Its standing restarts from zero if it
+  // ever becomes a candidate again.
+  for (auto sit = state.strikes.begin(); sit != state.strikes.end();) {
+    if (sit->first.first == old_server) {
+      sit = state.strikes.erase(sit);
+    } else {
+      ++sit;
+    }
+  }
   // Give the new server a clean slate so a stale strike doesn't bounce us.
   for (net::IpAddr client : state.app.client_pool) {
     state.strikes[{state.active, client}] = 0;
@@ -180,11 +236,13 @@ void ResourceManager::maybe_reconfigure(AppState& state) {
   NETMON_INFO("mgr", state.app.name, ": reconfiguring ",
               old_server.to_string(), " -> ", state.active.to_string(),
               " (failing fraction ", fraction, ")");
-  if (on_reconfig_) {
-    on_reconfig_(ReconfigurationEvent{
-        state.app.name, old_server, state.active,
-        director_.simulator().now(),
-        "failing fraction " + std::to_string(fraction)});
+  const ReconfigurationEvent event{state.app.name, old_server, state.active,
+                                   director_.simulator().now(),
+                                   "failing fraction " +
+                                       std::to_string(fraction)};
+  if (on_reconfig_) on_reconfig_(event);
+  for (const ReconfigCallback& listener : reconfig_listeners_) {
+    listener(event);
   }
 }
 

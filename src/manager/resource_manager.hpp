@@ -61,11 +61,19 @@ class ResourceManager {
   };
 
   using ReconfigCallback = std::function<void(const ReconfigurationEvent&)>;
+  // Observes every tuple *after* strike accounting and reconfiguration
+  // evaluation — the control plane's sensor→trigger feed (DESIGN.md §12).
+  using TupleObserver =
+      std::function<void(const std::string& application,
+                         const core::PathMetricTuple& tuple)>;
 
   ResourceManager(core::SensorDirector& director, Config config);
 
   // Starts monitoring the full server×client path matrix and managing the
-  // active server. `initial_server` must be in the pool.
+  // active server. `initial_server` must be in the pool. Throws
+  // std::invalid_argument when every requirement is disabled (<= 0
+  // sentinels and require_reachability false): such a matrix could never
+  // strike, so "managing" it would silently monitor without ever acting.
   void manage(ManagedApplication app, net::IpAddr initial_server);
   void stop(const std::string& application);
 
@@ -73,10 +81,32 @@ class ResourceManager {
   void set_reconfiguration_callback(ReconfigCallback cb) {
     on_reconfig_ = std::move(cb);
   }
+  // Additional reconfiguration listeners (the user callback slot above stays
+  // independent); listeners fire after it, in registration order.
+  void add_reconfiguration_listener(ReconfigCallback cb) {
+    reconfig_listeners_.push_back(std::move(cb));
+  }
+  void set_tuple_observer(TupleObserver observer) {
+    tuple_observer_ = std::move(observer);
+  }
 
   // Failing-path fraction for a server of an application (diagnostics).
   double failing_fraction(const std::string& application,
                           net::IpAddr server) const;
+  // Current consecutive-bad-sample count for one (server, client) path of an
+  // application; 0 when unknown.
+  int path_strikes(const std::string& application, net::IpAddr server,
+                   net::IpAddr client) const;
+  // Total (server, client) strike entries held across all applications.
+  // Bounded: pool_size × client_count per app while managed, 0 after stop.
+  std::size_t strike_entries() const;
+  const ManagedApplication* application(const std::string& name) const;
+  std::vector<std::string> applications() const;
+  // The live monitor request driving an application; 0 when unknown.
+  core::SensorDirector::RequestId request_id(
+      const std::string& application) const;
+  core::SensorDirector& director() { return director_; }
+  const Config& config() const { return config_; }
 
   std::uint64_t tuples_consumed() const { return tuples_consumed_; }
   std::uint64_t reconfigurations() const { return reconfigurations_; }
@@ -104,6 +134,8 @@ class ResourceManager {
   core::SensorDirector& director_;
   Config config_;
   ReconfigCallback on_reconfig_;
+  std::vector<ReconfigCallback> reconfig_listeners_;
+  TupleObserver tuple_observer_;
   std::map<std::string, AppState> apps_;
   std::uint64_t tuples_consumed_ = 0;
   std::uint64_t reconfigurations_ = 0;

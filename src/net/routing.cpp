@@ -16,6 +16,37 @@ void RoutingTable::remove(Prefix prefix) {
                 routes_.end());
 }
 
+void RoutingTable::add_standby(Prefix prefix, IpAddr gateway, Nic* out) {
+  standby_.push_back(Route{prefix, gateway, out});
+}
+
+bool RoutingTable::has_standby(Prefix prefix) const {
+  return std::any_of(standby_.begin(), standby_.end(),
+                     [&](const Route& r) { return r.prefix == prefix; });
+}
+
+bool RoutingTable::swap_standby(Prefix prefix) {
+  std::vector<Route> now_standby;
+  std::vector<Route> now_active;
+  for (const Route& r : routes_) {
+    if (r.prefix == prefix) now_standby.push_back(r);
+  }
+  for (const Route& r : standby_) {
+    if (r.prefix == prefix) now_active.push_back(r);
+  }
+  // The swap is an involution even when one side is empty: a standby /32
+  // over a default route swaps in leaving no standby entry, and the swap
+  // back returns it. Only a prefix known to neither side is refused.
+  if (now_standby.empty() && now_active.empty()) return false;
+  remove(prefix);
+  standby_.erase(std::remove_if(standby_.begin(), standby_.end(),
+                                [&](const Route& r) { return r.prefix == prefix; }),
+                 standby_.end());
+  routes_.insert(routes_.end(), now_active.begin(), now_active.end());
+  standby_.insert(standby_.end(), now_standby.begin(), now_standby.end());
+  return true;
+}
+
 std::optional<Route> RoutingTable::lookup(IpAddr dst) const {
   const Route* best = nullptr;
   for (const Route& r : routes_) {

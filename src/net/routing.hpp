@@ -29,15 +29,35 @@ class RoutingTable {
   void add(Prefix prefix, IpAddr gateway, Nic* out);
   // Removes every route whose prefix equals `prefix` exactly.
   void remove(Prefix prefix);
-  void clear() { routes_.clear(); }
+  void clear() {
+    routes_.clear();
+    standby_.clear();
+  }
 
   std::optional<Route> lookup(IpAddr dst) const;
   std::size_t size() const { return routes_.size(); }
   const std::vector<Route>& routes() const { return routes_; }
   std::string to_string() const;
 
+  // Pre-provisioned alternate routes (DESIGN.md §12). A standby entry is
+  // invisible to lookup() until swap_standby() exchanges it with the active
+  // entries of the exact same prefix, so a control-plane failover — and its
+  // rollback, which is the same swap again — changes one table atomically
+  // and never leaves the prefix unrouted.
+  void add_standby(Prefix prefix, IpAddr gateway, Nic* out);
+  bool has_standby(Prefix prefix) const;
+  // Swaps the active and standby route sets for `prefix`. Either side may
+  // be empty (a standby /32 over a default route swaps in leaving nothing
+  // behind; the swap back restores it), so the operation is always its own
+  // inverse. Returns false (and changes nothing) only when neither side
+  // holds an entry for the prefix.
+  bool swap_standby(Prefix prefix);
+  std::size_t standby_size() const { return standby_.size(); }
+  const std::vector<Route>& standby_routes() const { return standby_; }
+
  private:
   std::vector<Route> routes_;
+  std::vector<Route> standby_;
 };
 
 }  // namespace netmon::net

@@ -1,0 +1,530 @@
+// Unit tests for the closed-loop control plane (DESIGN.md §12): the
+// ActuationLog ring, every ControlPolicy gate (cooldown, direction-change
+// hold, breaker half-open cycle, deadline rollback, pending block), the
+// routing-table standby swap, the concrete actuators, the substrate hooks
+// they drive (LaneScheduler::reprioritize, SensorDirector retuning), and
+// the default-OFF contract: a disabled plane observes nothing and
+// schedules nothing.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/rtds.hpp"
+#include "apps/testbed.hpp"
+#include "core/high_fidelity_monitor.hpp"
+#include "core/lane_scheduler.hpp"
+#include "ctrl/actuators.hpp"
+#include "ctrl/control_plane.hpp"
+#include "ctrl/control_policy.hpp"
+#include "manager/resource_manager.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::ctrl {
+namespace {
+
+using core::ProbeClass;
+using sim::Duration;
+
+// -------------------------------------------------------------------------
+// ActuationLog
+
+TEST(ActuationLog, RingBoundsMemoryButCountsEverything) {
+  ActuationLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    log.append(i * 100, "rule", "target" + std::to_string(i), "detail",
+               ActuationOutcome::kApplied);
+  }
+  EXPECT_EQ(log.emitted(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  const auto records = log.records();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest retained first, seq monotone across the drop boundary.
+  EXPECT_EQ(records.front().seq, 6u);
+  EXPECT_EQ(records.back().seq, 9u);
+  EXPECT_EQ(records.back().target, "target9");
+}
+
+TEST(ActuationLog, SerializationsAreDeterministicBytes) {
+  ActuationLog log(8);
+  log.append(1500, "route-failover", "a@10.0.0.1 -> b@10.0.0.2",
+             "standby reroute", ActuationOutcome::kApplied);
+  log.append(2500, "route-failover", "a@10.0.0.1 -> b@10.0.0.2",
+             "standby reroute", ActuationOutcome::kVerified);
+  EXPECT_EQ(log.export_text(),
+            "0 t=1500 [route-failover] a@10.0.0.1 -> b@10.0.0.2 :: "
+            "standby reroute -> applied\n"
+            "1 t=2500 [route-failover] a@10.0.0.1 -> b@10.0.0.2 :: "
+            "standby reroute -> verified\n");
+  const std::string json = log.export_json();
+  EXPECT_NE(json.find("\"seq\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\": \"verified\""), std::string::npos);
+  // Same records, same bytes.
+  EXPECT_EQ(json, ActuationLog::to_json(log.records()));
+}
+
+// -------------------------------------------------------------------------
+// ControlPolicy gates
+
+ControlPolicy::Action ok_action(int* applies = nullptr,
+                                int* rollbacks = nullptr) {
+  ControlPolicy::Action a;
+  a.detail = "test";
+  a.apply = [applies] {
+    if (applies != nullptr) ++*applies;
+    return true;
+  };
+  a.rollback = [rollbacks] {
+    if (rollbacks != nullptr) ++*rollbacks;
+  };
+  return a;
+}
+
+ControlPolicy::Action failing_action() {
+  ControlPolicy::Action a;
+  a.detail = "test";
+  a.apply = [] { return false; };
+  return a;
+}
+
+TEST(ControlPolicy, CooldownSpacesSameDirectionRefires) {
+  sim::Simulator sim;
+  ControlPolicy policy(sim, PolicyConfig{});
+  const auto rule = policy.add_rule("r", Duration::sec(1));
+
+  auto first = policy.fire(rule, 7, "t", ok_action());
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(policy.verified(*first));
+
+  // Immediate refire: same direction, no hold — but still cooling down.
+  EXPECT_FALSE(policy.fire(rule, 7, "t", ok_action()).has_value());
+  EXPECT_EQ(policy.stats().blocked_cooldown, 1u);
+
+  // A different target is an independent pair.
+  EXPECT_TRUE(policy.fire(rule, 8, "t2", ok_action()).has_value());
+
+  sim.run_for(Duration::sec(2));
+  EXPECT_TRUE(policy.fire(rule, 7, "t", ok_action()).has_value());
+}
+
+TEST(ControlPolicy, HoldBlocksOnlyDirectionChanges) {
+  sim::Simulator sim;
+  PolicyConfig cfg;
+  cfg.hold = Duration::sec(8);
+  ControlPolicy policy(sim, cfg);
+  const auto rule = policy.add_rule("r", Duration::ms(100));
+
+  auto id = policy.fire(rule, 1, "t", ok_action(),
+                        ControlPolicy::Direction::kForward);
+  ASSERT_TRUE(id.has_value());
+  policy.verified(*id);
+  sim.run_for(Duration::sec(1));  // past cooldown, inside hold
+
+  // The reverse direction is the ping-pong the hold exists to damp.
+  EXPECT_TRUE(policy.held(rule, 1, ControlPolicy::Direction::kReverse));
+  EXPECT_FALSE(policy.fire(rule, 1, "t", ok_action(),
+                           ControlPolicy::Direction::kReverse)
+                   .has_value());
+  EXPECT_EQ(policy.stats().blocked_hold, 1u);
+
+  // Escalation in the same direction is not oscillation.
+  EXPECT_FALSE(policy.held(rule, 1, ControlPolicy::Direction::kForward));
+  auto again = policy.fire(rule, 1, "t", ok_action(),
+                           ControlPolicy::Direction::kForward);
+  ASSERT_TRUE(again.has_value());
+  policy.verified(*again);
+
+  // After the hold expires the reverse goes through.
+  sim.run_for(Duration::sec(9));
+  EXPECT_TRUE(policy.fire(rule, 1, "t", ok_action(),
+                          ControlPolicy::Direction::kReverse)
+                  .has_value());
+}
+
+TEST(ControlPolicy, PendingActuationBlocksRefire) {
+  sim::Simulator sim;
+  ControlPolicy policy(sim, PolicyConfig{});
+  const auto rule = policy.add_rule("r", Duration::ms(1));
+
+  auto id = policy.fire(rule, 1, "t", ok_action());
+  ASSERT_TRUE(id.has_value());
+  sim.run_for(Duration::ms(10));  // past cooldown; still unverified
+  EXPECT_FALSE(policy.fire(rule, 1, "t", ok_action()).has_value());
+  EXPECT_EQ(policy.stats().blocked_pending, 1u);
+  policy.verified(*id);
+}
+
+TEST(ControlPolicy, DeadlineExpiryRollsBackAndCountsFailed) {
+  sim::Simulator sim;
+  PolicyConfig cfg;
+  cfg.action_deadline = Duration::sec(3);
+  ControlPolicy policy(sim, cfg);
+  const auto rule = policy.add_rule("r", Duration::ms(1));
+
+  int applies = 0;
+  int rollbacks = 0;
+  auto id = policy.fire(rule, 1, "t", ok_action(&applies, &rollbacks));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(applies, 1);
+
+  sim.run_for(Duration::sec(4));
+  EXPECT_EQ(rollbacks, 1);
+  EXPECT_EQ(policy.stats().rolled_back, 1u);
+  EXPECT_EQ(policy.pending(), 0u);
+  // The id is spent; late verification must not resurrect it.
+  EXPECT_FALSE(policy.verified(*id));
+
+  const auto records = policy.log().records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].outcome, ActuationOutcome::kApplied);
+  EXPECT_EQ(records[1].outcome, ActuationOutcome::kRolledBack);
+}
+
+TEST(ControlPolicy, BreakerOpensDegradesToReportOnlyAndHalfOpens) {
+  sim::Simulator sim;
+  PolicyConfig cfg;
+  cfg.breaker_threshold = 2;
+  cfg.breaker_open_for = Duration::sec(30);
+  ControlPolicy policy(sim, cfg);
+  const auto rule = policy.add_rule("r", Duration::ms(1));
+
+  // Two consecutive apply() failures open the (rule, target) breaker.
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_FALSE(policy.fire(rule, 1, "t", failing_action()).has_value());
+    sim.run_for(Duration::ms(5));
+  }
+  EXPECT_EQ(policy.stats().failed, 2u);
+  EXPECT_EQ(policy.stats().breaker_trips, 1u);
+  EXPECT_TRUE(policy.breaker_open(rule, 1));
+  EXPECT_EQ(policy.report_only_pairs(), 1u);
+
+  // Open: the condition is observed but nothing acts.
+  EXPECT_FALSE(policy.fire(rule, 1, "t", ok_action()).has_value());
+  EXPECT_EQ(policy.stats().blocked_breaker, 1u);
+
+  // Half-open probe that fails re-opens after a single failure.
+  sim.run_for(Duration::sec(31));
+  EXPECT_FALSE(policy.breaker_open(rule, 1));
+  EXPECT_FALSE(policy.fire(rule, 1, "t", failing_action()).has_value());
+  EXPECT_EQ(policy.stats().breaker_trips, 2u);
+  EXPECT_TRUE(policy.breaker_open(rule, 1));
+
+  // Half-open probe that succeeds closes the breaker for good.
+  sim.run_for(Duration::sec(31));
+  auto id = policy.fire(rule, 1, "t", ok_action());
+  ASSERT_TRUE(id.has_value());
+  policy.verified(*id);
+  EXPECT_FALSE(policy.breaker_open(rule, 1));
+  EXPECT_EQ(policy.report_only_pairs(), 0u);
+}
+
+TEST(ControlPolicy, ZeroDeadlineSupportsSelfVerifiedActions) {
+  sim::Simulator sim;
+  PolicyConfig cfg;
+  cfg.action_deadline = Duration::ns(0);
+  ControlPolicy policy(sim, cfg);
+  const auto rule = policy.add_rule("r", Duration::ms(1));
+
+  auto id = policy.fire(rule, 1, "t", ok_action());
+  ASSERT_TRUE(id.has_value());
+  EXPECT_TRUE(policy.verified(*id));
+  sim.run_for(Duration::sec(10));
+  EXPECT_EQ(policy.stats().rolled_back, 0u);
+  EXPECT_EQ(policy.stats().verified, 1u);
+}
+
+// -------------------------------------------------------------------------
+// RoutingTable standby entries
+
+TEST(RoutingStandby, SwapIsAtomicAndInvolutive) {
+  net::RoutingTable table;
+  const net::IpAddr peer(10, 0, 2, 1);
+  const net::IpAddr primary_gw(10, 0, 1, 254);
+  const net::IpAddr standby_gw(10, 0, 1, 253);
+  table.add(net::Prefix(net::IpAddr{}, 0), primary_gw, nullptr);
+
+  EXPECT_FALSE(table.has_standby(net::Prefix(peer, 32)));
+  EXPECT_FALSE(table.swap_standby(net::Prefix(peer, 32)));
+
+  table.add_standby(net::Prefix(peer, 32), standby_gw, nullptr);
+  EXPECT_TRUE(table.has_standby(net::Prefix(peer, 32)));
+  // Invisible to lookup until swapped: the default route still answers.
+  ASSERT_TRUE(table.lookup(peer).has_value());
+  EXPECT_EQ(table.lookup(peer)->gateway, primary_gw);
+
+  // Swap in: the /32 longest-prefix-overrides the default route.
+  ASSERT_TRUE(table.swap_standby(net::Prefix(peer, 32)));
+  EXPECT_EQ(table.lookup(peer)->gateway, standby_gw);
+  EXPECT_FALSE(table.has_standby(net::Prefix(peer, 32)));
+
+  // Swap back: the involution the failover rollback relies on.
+  ASSERT_TRUE(table.swap_standby(net::Prefix(peer, 32)));
+  EXPECT_EQ(table.lookup(peer)->gateway, primary_gw);
+  EXPECT_TRUE(table.has_standby(net::Prefix(peer, 32)));
+}
+
+// -------------------------------------------------------------------------
+// RouteFailoverActuator on a dual-router topology
+
+struct DualRouterNet {
+  explicit DualRouterNet(sim::Simulator& sim)
+      : network(sim, util::Rng(7)) {
+    net::Switch& sws = network.add_switch("sws");
+    net::Switch& swc = network.add_switch("swc");
+    ra = &network.add_router("ra");
+    rb = &network.add_router("rb");
+    network.attach(*ra, sws, net::IpAddr(10, 0, 1, 254), 24, 100e6);
+    network.attach(*ra, swc, net::IpAddr(10, 0, 2, 254), 24, 100e6);
+    network.attach(*rb, sws, net::IpAddr(10, 0, 1, 253), 24, 100e6);
+    network.attach(*rb, swc, net::IpAddr(10, 0, 2, 253), 24, 100e6);
+    server = &network.add_host("server");
+    client = &network.add_host("client");
+    network.attach(*server, sws, net::IpAddr(10, 0, 1, 1), 24, 100e6);
+    network.attach(*client, swc, net::IpAddr(10, 0, 2, 1), 24, 100e6);
+    network.auto_route();
+  }
+
+  // Standby /32 routes through rb at both endpoints of server<->client.
+  void provision_standby() {
+    server->routing().add_standby(
+        net::Prefix(client->primary_ip(), 32), net::IpAddr(10, 0, 1, 253),
+        server->nics().front().get());
+    client->routing().add_standby(
+        net::Prefix(server->primary_ip(), 32), net::IpAddr(10, 0, 2, 253),
+        client->nics().front().get());
+  }
+
+  core::Path path() const {
+    return core::Path(
+        core::ProcessEndpoint{"s", server->primary_ip(), 5000},
+        core::ProcessEndpoint{"c", client->primary_ip(), 5000});
+  }
+
+  net::Network network;
+  net::Host* ra = nullptr;
+  net::Host* rb = nullptr;
+  net::Host* server = nullptr;
+  net::Host* client = nullptr;
+};
+
+TEST(RouteFailoverActuator, SwapsBothDirectionsAndRollsBack) {
+  sim::Simulator sim;
+  DualRouterNet net(sim);
+  RouteFailoverActuator actuator(net.network);
+
+  // Without standbys the path is not failover-capable; apply refuses.
+  EXPECT_FALSE(actuator.available(net.path()));
+  EXPECT_FALSE(actuator.apply(net.path()));
+  EXPECT_EQ(actuator.swaps(), 0u);
+
+  net.provision_standby();
+  ASSERT_TRUE(actuator.available(net.path()));
+  ASSERT_TRUE(actuator.apply(net.path()));
+  EXPECT_EQ(actuator.swaps(), 1u);
+  // Both directions now route via rb.
+  EXPECT_EQ(net.server->routing().lookup(net.client->primary_ip())->gateway,
+            net::IpAddr(10, 0, 1, 253));
+  EXPECT_EQ(net.client->routing().lookup(net.server->primary_ip())->gateway,
+            net::IpAddr(10, 0, 2, 253));
+
+  actuator.rollback(net.path());
+  EXPECT_EQ(net.server->routing().lookup(net.client->primary_ip())->gateway,
+            net::IpAddr(10, 0, 1, 254));
+  EXPECT_EQ(net.client->routing().lookup(net.server->primary_ip())->gateway,
+            net::IpAddr(10, 0, 2, 254));
+}
+
+// -------------------------------------------------------------------------
+// LaneScheduler::reprioritize
+
+TEST(LaneSchedulerReprioritize, MovesQueuedEntriesPreservingSeqOrder) {
+  core::LaneScheduler sched{core::SchedulerConfig{.lanes = 1}};
+  sched.record_admissions(16);
+
+  std::vector<core::LaneScheduler::Done> held;
+  auto hold = [&held](core::LaneScheduler::Done done) {
+    held.push_back(std::move(done));
+  };
+  auto profile = [](std::uint64_t tag) {
+    core::ProbeProfile p;
+    p.tag = tag;
+    p.priority = ProbeClass::kNormal;
+    return p;
+  };
+
+  sched.enqueue(hold, profile(100));  // admitted at once, occupies the lane
+  sched.enqueue(hold, profile(1));
+  sched.enqueue(hold, profile(2));
+  sched.enqueue(hold, profile(2));  // same path tag queued twice
+  sched.enqueue(hold, profile(3));
+  ASSERT_EQ(sched.in_flight(), 1u);
+  ASSERT_EQ(sched.queued(), 4u);
+
+  // The control plane concentrates budget on path 2; in-flight unaffected.
+  EXPECT_EQ(sched.reprioritize(2, ProbeClass::kCritical), 2u);
+  EXPECT_EQ(sched.reprioritize(99, ProbeClass::kCritical), 0u);
+  EXPECT_EQ(sched.in_flight(), 1u);
+
+  // Drain: both tag-2 entries must be admitted first, in enqueue order.
+  while (!held.empty()) {
+    auto done = std::move(held.front());
+    held.erase(held.begin());
+    done();
+  }
+  ASSERT_EQ(sched.queued(), 0u);
+  sched.check_consistency();
+
+  const auto& trace = sched.admissions();
+  ASSERT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace[0].tag, 100u);
+  EXPECT_EQ(trace[1].tag, 2u);
+  EXPECT_EQ(trace[2].tag, 2u);
+  EXPECT_LT(trace[1].entry_seq, trace[2].entry_seq);  // FIFO within class
+  EXPECT_EQ(trace[1].priority, ProbeClass::kCritical);
+  EXPECT_EQ(trace[3].tag, 1u);
+  EXPECT_EQ(trace[4].tag, 3u);
+}
+
+// -------------------------------------------------------------------------
+// SensorDirector retuning hooks + PriorityBoostActuator + ProbeRetuneActuator
+
+class DirectorHooksFixture : public ::testing::Test {
+ protected:
+  DirectorHooksFixture() {
+    apps::TestbedOptions options;
+    options.servers = 1;
+    options.clients = 2;
+    bed = std::make_unique<apps::Testbed>(sim, options);
+    core::HighFidelityMonitor::Config cfg;
+    cfg.probe.message_count = 2;
+    cfg.probe.inter_send = Duration::ms(5);
+    monitor = std::make_unique<core::HighFidelityMonitor>(bed->network(), cfg);
+  }
+
+  core::SensorDirector::RequestId submit(Duration period) {
+    core::MonitorRequest request;
+    request.paths = bed->full_matrix({core::Metric::kReachability});
+    request.mode = core::MonitorRequest::Mode::kContinuous;
+    request.period = period;
+    return monitor->director().submit(request, nullptr);
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<apps::Testbed> bed;
+  std::unique_ptr<core::HighFidelityMonitor> monitor;
+};
+
+TEST_F(DirectorHooksFixture, RetunePeriodTakesEffectAndReads) {
+  const auto id = submit(Duration::sec(1));
+  ASSERT_TRUE(monitor->director().period_of(id).has_value());
+  EXPECT_EQ(monitor->director().period_of(id)->nanos(),
+            Duration::sec(1).nanos());
+
+  EXPECT_TRUE(monitor->director().retune_period(id, Duration::sec(4)));
+  EXPECT_EQ(monitor->director().period_of(id)->nanos(),
+            Duration::sec(4).nanos());
+
+  // Unknown requests and non-positive periods are refused.
+  EXPECT_FALSE(monitor->director().retune_period(id + 99, Duration::sec(1)));
+  EXPECT_FALSE(monitor->director().retune_period(id, Duration::ns(0)));
+  EXPECT_FALSE(monitor->director().period_of(id + 99).has_value());
+}
+
+TEST_F(DirectorHooksFixture, PathPriorityRoundTripsThroughDirector) {
+  const auto id = submit(Duration::sec(1));
+  const core::Path path = bed->path(0, 0);
+  ASSERT_TRUE(monitor->director().path_priority(id, path).has_value());
+  EXPECT_EQ(*monitor->director().path_priority(id, path),
+            ProbeClass::kNormal);
+
+  EXPECT_TRUE(
+      monitor->director().set_path_priority(id, path, ProbeClass::kCritical));
+  EXPECT_EQ(*monitor->director().path_priority(id, path),
+            ProbeClass::kCritical);
+  EXPECT_FALSE(monitor->director().set_path_priority(id + 99, path,
+                                                     ProbeClass::kCritical));
+}
+
+TEST_F(DirectorHooksFixture, BoostActuatorRestoresOriginalClass) {
+  const auto id = submit(Duration::sec(1));
+  const core::Path path = bed->path(0, 1);
+  PriorityBoostActuator booster(monitor->director());
+
+  ASSERT_TRUE(booster.boost(id, path, ProbeClass::kCritical));
+  EXPECT_EQ(booster.boosted(), 1u);
+  EXPECT_FALSE(booster.boost(id, path, ProbeClass::kCritical));  // once only
+  EXPECT_EQ(*monitor->director().path_priority(id, path),
+            ProbeClass::kCritical);
+
+  ASSERT_TRUE(booster.restore(id, path));
+  EXPECT_EQ(booster.boosted(), 0u);
+  EXPECT_EQ(*monitor->director().path_priority(id, path),
+            ProbeClass::kNormal);
+  EXPECT_FALSE(booster.restore(id, path));  // nothing left to restore
+}
+
+TEST_F(DirectorHooksFixture, RetuneActuatorLaddersUpAndDown) {
+  const auto id = submit(Duration::sec(1));
+  ProbeRetuneActuator retuner(monitor->director(), id, 2.0, 2);
+
+  EXPECT_FALSE(retuner.restore());  // already at base
+  ASSERT_TRUE(retuner.stretch());
+  EXPECT_EQ(retuner.level(), 1);
+  EXPECT_EQ(monitor->director().period_of(id)->nanos(),
+            Duration::sec(2).nanos());
+  ASSERT_TRUE(retuner.stretch());
+  EXPECT_EQ(monitor->director().period_of(id)->nanos(),
+            Duration::sec(4).nanos());
+  EXPECT_FALSE(retuner.stretch());  // max_levels = 2
+
+  ASSERT_TRUE(retuner.restore());
+  ASSERT_TRUE(retuner.restore());
+  EXPECT_EQ(retuner.level(), 0);
+  EXPECT_EQ(monitor->director().period_of(id)->nanos(),
+            Duration::sec(1).nanos());
+}
+
+// -------------------------------------------------------------------------
+// ControlPlane default-OFF contract
+
+TEST(ControlPlaneDisabled, InstallsNothingAndObservesNothing) {
+  sim::Simulator sim;
+  apps::TestbedOptions options;
+  options.servers = 2;
+  options.clients = 2;
+  apps::Testbed bed(sim, options);
+  core::HighFidelityMonitor::Config mon_cfg;
+  mon_cfg.probe.message_count = 2;
+  mon_cfg.probe.inter_send = Duration::ms(5);
+  core::HighFidelityMonitor monitor(bed.network(), mon_cfg);
+
+  mgr::ResourceManager::Config rm_cfg;
+  rm_cfg.metrics = {core::Metric::kReachability};
+  mgr::ResourceManager manager(monitor.director(), rm_cfg);
+
+  ControlConfig cfg;  // enabled defaults to false
+  ControlPlane plane(sim, bed.network(), cfg);
+  plane.attach(manager);
+
+  mgr::ManagedApplication app;
+  app.name = "rtds";
+  app.server_pool = {bed.server_ip(0), bed.server_ip(1)};
+  app.client_pool = {bed.client_ip(0), bed.client_ip(1)};
+  app.port = apps::kRtdsPort;
+  manager.manage(app, bed.server_ip(0));
+
+  sim.run_for(Duration::sec(10));
+  EXPECT_GT(manager.tuples_consumed(), 0u);
+  // The disabled plane saw nothing, logged nothing, scheduled nothing.
+  EXPECT_EQ(plane.stats().tuples_seen, 0u);
+  EXPECT_EQ(plane.stats().ticks, 0u);
+  EXPECT_EQ(plane.policy().log().emitted(), 0u);
+  EXPECT_EQ(plane.policy().stats().fired, 0u);
+}
+
+}  // namespace
+}  // namespace netmon::ctrl

@@ -131,6 +131,49 @@ TEST_F(ManagerFixture, StopCancelsMonitoring) {
   EXPECT_THROW(manager.active_server("rtds"), std::out_of_range);
 }
 
+TEST_F(ManagerFixture, AllDisabledRequirementsRejectedAtManageTime) {
+  // An application whose requirements are all disabled (reachability off,
+  // throughput/latency sentinels unset) could never strike and would be
+  // monitored forever for nothing; manage() must reject it up front.
+  ResourceManager manager(monitor->director(), fast_config());
+  auto app = rtds_app();
+  app.requirements.require_reachability = false;
+  app.requirements.min_throughput_bps = 0.0;
+  app.requirements.max_latency_s = 0.0;
+  EXPECT_THROW(manager.manage(app, bed->server_ip(0)),
+               std::invalid_argument);
+  // Nothing was registered: the name is still free.
+  auto ok = rtds_app();
+  manager.manage(ok, bed->server_ip(0));
+}
+
+TEST_F(ManagerFixture, FailoverPrunesOldServerStrikeEntries) {
+  // Regression: the strikes map used to keep (old_server, client) entries
+  // alive forever after a failover, growing without bound across repeated
+  // reconfigurations. After failover, the departed server's entries must
+  // be gone; after stop(), the application's entries must all be gone.
+  ResourceManager manager(monitor->director(), fast_config());
+  bool checked_in_callback = false;
+  manager.set_reconfiguration_callback([&](const ReconfigurationEvent& e) {
+    if (checked_in_callback) return;
+    checked_in_callback = true;
+    for (int c = 0; c < bed->client_count(); ++c) {
+      EXPECT_EQ(manager.path_strikes(e.application, e.old_server,
+                                     bed->client_ip(c)),
+                0)
+          << "stale strike entry for departed server, client " << c;
+    }
+  });
+  manager.manage(rtds_app(), bed->server_ip(0));
+  bed->server(0).set_up(false);
+  sim.run_for(Duration::sec(60));
+  ASSERT_GE(manager.reconfigurations(), 1u);
+  ASSERT_TRUE(checked_in_callback);
+
+  manager.stop("rtds");
+  EXPECT_EQ(manager.strike_entries(), 0u);
+}
+
 TEST_F(ManagerFixture, ThroughputRequirementTriggersStrikes) {
   // Require more throughput than the probe's offered load can ever show:
   // every sample strikes, forcing reconfiguration attempts (all servers are

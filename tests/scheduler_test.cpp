@@ -330,6 +330,34 @@ apps::FabricOptions small_fabric() {
   return options;
 }
 
+TEST(FabricFootprints, StandbyMatrixProvisionsSwappableAlternateRoutes) {
+  sim::Simulator sim;
+  apps::FabricTestbed bed(sim, small_fabric());
+  const auto options = small_fabric();
+  const std::size_t servers = static_cast<std::size_t>(options.server_edges) *
+                              options.servers_per_edge;
+  const std::size_t clients = static_cast<std::size_t>(options.client_edges) *
+                              options.clients_per_edge;
+  EXPECT_EQ(bed.provision_standby_matrix(), servers * clients);
+
+  // Each endpoint holds a standby /32 toward its peer, invisible until
+  // swapped; the swap is its own inverse (control-plane failover contract).
+  net::Host& s0 = bed.server(0);
+  net::Host& c0 = bed.client(0);
+  const net::Prefix to_client(c0.primary_ip(), 32);
+  const net::Prefix to_server(s0.primary_ip(), 32);
+  ASSERT_TRUE(s0.routing().has_standby(to_client));
+  ASSERT_TRUE(c0.routing().has_standby(to_server));
+  const auto primary = s0.routing().lookup(c0.primary_ip());
+  ASSERT_TRUE(primary.has_value());
+  ASSERT_TRUE(s0.routing().swap_standby(to_client));
+  const auto standby = s0.routing().lookup(c0.primary_ip());
+  ASSERT_TRUE(standby.has_value());
+  EXPECT_NE(primary->gateway, standby->gateway);
+  ASSERT_TRUE(s0.routing().swap_standby(to_client));
+  EXPECT_EQ(s0.routing().lookup(c0.primary_ip())->gateway, primary->gateway);
+}
+
 TEST(FabricFootprints, RouteMediaSeparatesSpinesAndSharesLeafLinks) {
   sim::Simulator sim;
   apps::FabricTestbed bed(sim, small_fabric());

@@ -276,6 +276,72 @@ void BM_MeasurementDbWorkingSetByIdObserved(benchmark::State& state) {
 }
 BENCHMARK(BM_MeasurementDbWorkingSetByIdObserved);
 
+// Tiered-store ingest (DESIGN.md §13): round-robin over a working set whose
+// sealed pages overflow the bounded pool, so every record() amortizes page
+// rollover, rollup into coarser tiers, and deterministic eviction — the
+// steady-state churn cost, not the warm-up cost.
+void BM_TieredIngest(benchmark::State& state) {
+  core::TieredStorageConfig config;
+  config.page_points = 16;
+  config.rollup_factor = 8;
+  config.tiers = 3;
+  config.max_pages = 256;  // 64 series x 3 open pages + churn headroom
+  core::MeasurementDatabase db(/*history_depth=*/2, config);
+  std::vector<core::PathId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(db.id_of(core::Path(
+        core::ProcessEndpoint{
+            "s", net::IpAddr(10, 2, std::uint8_t(i / 8), std::uint8_t(i % 8 + 1)), 1},
+        core::ProcessEndpoint{"d", net::IpAddr(10, 3, 0, 1), 1})));
+  }
+  std::int64_t t = 0;
+  std::size_t next = 0;
+  for (auto _ : state) {
+    const auto now = sim::TimePoint::from_nanos(++t);
+    db.record(ids[next], core::Metric::kThroughput,
+              core::MetricValue::of(1e6, now));
+    if (++next == ids.size()) next = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["evictions"] =
+      static_cast<double>(db.tiered().evictions());
+}
+BENCHMARK(BM_TieredIngest);
+
+// Time-range query against a prefilled 100k-sample series at 1 ms cadence.
+// The resolution argument (ms) picks the serving tier: 0 forces raw tier 0
+// (~100k points stitched), 8 the first rollup, 64 the coarsest tier.
+void BM_RangeQuery(benchmark::State& state) {
+  core::TieredStorageConfig config;
+  config.page_points = 64;
+  config.rollup_factor = 8;
+  config.tiers = 3;
+  config.max_pages = 4096;  // retains the full series: query cost only
+  core::MeasurementDatabase db(/*history_depth=*/2, config);
+  const core::PathId id = db.id_of(core::Path(
+      core::ProcessEndpoint{"s", net::IpAddr(10, 4, 0, 1), 1},
+      core::ProcessEndpoint{"d", net::IpAddr(10, 4, 0, 2), 1}));
+  constexpr std::int64_t kStep = 1'000'000;  // 1 ms
+  constexpr std::int64_t kSamples = 100'000;
+  for (std::int64_t i = 1; i <= kSamples; ++i) {
+    db.record(id, core::Metric::kOneWayLatency,
+              core::MetricValue::of(0.001, sim::TimePoint::from_nanos(i * kStep)));
+  }
+  const auto resolution = sim::Duration::ms(state.range(0));
+  const auto t0 = sim::TimePoint::from_nanos(0);
+  const auto t1 = sim::TimePoint::from_nanos((kSamples + 1) * kStep);
+  double points = 0.0;
+  for (auto _ : state) {
+    auto result = db.query(id, core::Metric::kOneWayLatency, t0, t1,
+                           resolution);
+    benchmark::DoNotOptimize(result.points.data());
+    points = static_cast<double>(result.points.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["points"] = points;
+}
+BENCHMARK(BM_RangeQuery)->Arg(0)->Arg(8)->Arg(64);
+
 // Control-plane rule evaluation on the tuple hot path (DESIGN.md §12).
 // Arg(0): liveness bookkeeping only. Arg(1): priority boost enabled, so
 // every latency tuple additionally feeds the per-path P² p90 sketch and
@@ -301,8 +367,9 @@ void BM_ControlPolicyEvaluate(benchmark::State& state) {
     tuple.metric = core::Metric::kOneWayLatency;
     // Mild jitter: exercises the sketch without tripping the drift rule
     // on every sample.
-    tuple.value = core::MetricValue::of(0.001 + 0.0001 * (t % 7),
-                                        sim::TimePoint::from_nanos(++t));
+    const std::int64_t seq = ++t;
+    tuple.value = core::MetricValue::of(0.001 + 0.0001 * (seq % 7),
+                                        sim::TimePoint::from_nanos(seq));
     tuples.push_back(tuple);
   }
 

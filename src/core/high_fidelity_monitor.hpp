@@ -106,6 +106,9 @@ class HighFidelityMonitor {
     // Samples retained per (path, metric) series. The 10k-path fabrics
     // multiply this by C·S·metrics — drop it when soaking large matrices.
     std::size_t history_depth = 64;
+    // Tiered storage engine under the database (DESIGN.md §13); the default
+    // keeps it enabled with the stock page/tier geometry.
+    TieredStorageConfig storage;
     // Deadline/retry/breaker supervision; all off by default.
     SupervisionConfig supervision;
   };

@@ -37,6 +37,12 @@ void MeasurementDatabase::record(PathId id, Metric metric,
   series.history.push(m);
   if (value.valid) series.last_valid = m;
   ++records_written_;
+  // The tiered store rides alongside the ring/last-known fast path and never
+  // feeds back into it: current/last_known stay bit-identical with tiers on.
+  if (store_.enabled()) {
+    store_.record(static_cast<std::uint32_t>(slot(id, metric)),
+                  value.measured_at.nanos(), value.value, value.valid);
+  }
 }
 
 std::optional<Measurement> MeasurementDatabase::current(
@@ -86,10 +92,12 @@ void MeasurementDatabase::attach_observability(obs::Registry& registry,
   registry.gauge_fn(obs_prefix_ + ".interned_paths", [this] {
     return static_cast<double>(paths_.size());
   });
+  store_.attach_observability(registry, obs_prefix_);
 }
 
 void MeasurementDatabase::detach_observability() {
   if (obs_registry_ == nullptr) return;
+  store_.detach_observability();
   obs_registry_->remove_prefix(obs_prefix_);
   obs_registry_ = nullptr;
   obs_interval_ = nullptr;

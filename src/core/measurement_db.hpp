@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/path.hpp"
+#include "core/tiered_store.hpp"
 #include "obs/metrics.hpp"
 #include "sim/time.hpp"
 #include "util/ring_buffer.hpp"
@@ -39,8 +40,9 @@ constexpr PathId kInvalidPathId = 0xFFFFFFFFu;
 
 class MeasurementDatabase {
  public:
-  explicit MeasurementDatabase(std::size_t history_depth = 64)
-      : history_depth_(history_depth) {}
+  explicit MeasurementDatabase(std::size_t history_depth = 64,
+                               TieredStorageConfig storage = {})
+      : history_depth_(history_depth), store_(std::move(storage)) {}
   ~MeasurementDatabase() { detach_observability(); }
   MeasurementDatabase(const MeasurementDatabase&) = delete;
   MeasurementDatabase& operator=(const MeasurementDatabase&) = delete;
@@ -61,6 +63,25 @@ class MeasurementDatabase {
   std::optional<sim::Duration> senescence(PathId id, Metric metric,
                                           sim::TimePoint now) const;
   const util::RingBuffer<Measurement>* history(PathId id, Metric metric) const;
+
+  // Time-range query over the tiered store (DESIGN.md §13): aggregates over
+  // [t0, t1] at the coarsest tier satisfying `resolution` (<= 0 requests the
+  // finest retained data), stitched across tier boundaries, with evicted
+  // sub-ranges reported as explicit gaps. Empty result when tiers are
+  // disabled or the series was never recorded.
+  TierQueryResult query(PathId id, Metric metric, sim::TimePoint t0,
+                        sim::TimePoint t1, sim::Duration resolution) const {
+    return store_.query(static_cast<std::uint32_t>(slot(id, metric)),
+                        t0.nanos(), t1.nanos(), resolution.nanos());
+  }
+  TierQueryResult query(const Path& path, Metric metric, sim::TimePoint t0,
+                        sim::TimePoint t1, sim::Duration resolution) const {
+    const PathId id = find(path);
+    if (id == kInvalidPathId) return {};
+    return query(id, metric, t0, t1, resolution);
+  }
+  // The storage engine itself, for stats/tier introspection.
+  const TieredStore& tiered() const { return store_; }
 
   // Path-keyed convenience wrappers. record() interns; the read-only calls
   // return "never sampled" for paths that were never recorded.
@@ -127,6 +148,7 @@ class MeasurementDatabase {
   }
 
   std::size_t history_depth_;
+  TieredStore store_;
   // Keyed on Path's precomputed structural hash: the steady-state interning
   // lookup is a bucket probe plus one equality check, no string re-hashing.
   std::unordered_map<Path, PathId> ids_;

@@ -60,6 +60,8 @@ class ScalableMonitor {
     SchedulerConfig scheduling;
     // Samples retained per (path, metric) series.
     std::size_t history_depth = 64;
+    // Tiered storage engine under the database (DESIGN.md §13).
+    TieredStorageConfig storage;
     // Deadline/retry/breaker supervision; all off by default.
     SupervisionConfig supervision;
   };

@@ -32,10 +32,11 @@ SensorDirector::SensorDirector(sim::Simulator& sim, std::size_t max_concurrent)
 
 SensorDirector::SensorDirector(sim::Simulator& sim, std::size_t max_concurrent,
                                SupervisionConfig supervision,
-                               std::size_t history_depth)
+                               std::size_t history_depth,
+                               TieredStorageConfig storage)
     : sim_(sim),
       sequencer_(max_concurrent),
-      database_(history_depth),
+      database_(history_depth, std::move(storage)),
       supervision_(supervision) {
   // Simulation time drives the scheduler's senescence-weighted aging and
   // starvation accounting (inert under the default FIFO configuration).

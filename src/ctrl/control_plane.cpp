@@ -21,11 +21,12 @@ ControlPlane::ControlPlane(sim::Simulator& sim, net::Network& network,
 
 ControlPlane::~ControlPlane() {
   detach_observability();
-  // The observer closure captures `this`; a manager outliving the plane
-  // must not call into freed memory. (The reconfiguration listener cannot
-  // be unregistered, so the manager must simply not reconfigure after the
-  // plane is gone — both live for the whole run in practice.)
-  if (manager_ != nullptr) manager_->set_tuple_observer({});
+  // The observer and listener closures capture `this`; a manager outliving
+  // the plane must not call into freed memory.
+  if (manager_ != nullptr) {
+    manager_->set_tuple_observer({});
+    manager_->remove_reconfiguration_listener(reconfig_listener_);
+  }
 }
 
 void ControlPlane::attach(mgr::ResourceManager& manager) {
@@ -39,7 +40,7 @@ void ControlPlane::attach(mgr::ResourceManager& manager) {
       [this](const std::string& app, const core::PathMetricTuple& tuple) {
         observe_tuple(app, tuple);
       });
-  manager.add_reconfiguration_listener(
+  reconfig_listener_ = manager.add_reconfiguration_listener(
       [this](const mgr::ReconfigurationEvent& event) {
         ++stats_.reconfigs_observed;
         policy_.note("server-failover", event.application,

@@ -174,6 +174,7 @@ class ControlPlane {
   RouteFailoverActuator failover_;
   std::unique_ptr<PriorityBoostActuator> booster_;  // built at attach()
   mgr::ResourceManager* manager_ = nullptr;
+  mgr::ResourceManager::ListenerHandle reconfig_listener_ = 0;
   const obs::IntrusivenessMeter* meter_ = nullptr;
 
   ControlPolicy::RuleId rule_failover_ = 0;

@@ -1,6 +1,7 @@
 #include "manager/resource_manager.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "util/logging.hpp"
@@ -11,6 +12,23 @@ ResourceManager::ResourceManager(core::SensorDirector& director, Config config)
     : director_(director), config_(std::move(config)) {
   if (config_.strikes < 1) {
     throw std::invalid_argument("ResourceManager: strikes must be >= 1");
+  }
+  if (config_.trend.window.nanos() > 0 &&
+      (config_.trend.quantile <= 0.5 || config_.trend.quantile >= 1.0 ||
+       config_.trend.min_samples < 1)) {
+    throw std::invalid_argument(
+        "ResourceManager: trend quantile must be in (0.5, 1) and "
+        "min_samples >= 1");
+  }
+}
+
+void ResourceManager::remove_reconfiguration_listener(ListenerHandle handle) {
+  for (auto it = reconfig_listeners_.begin(); it != reconfig_listeners_.end();
+       ++it) {
+    if (it->first == handle) {
+      reconfig_listeners_.erase(it);
+      return;
+    }
   }
 }
 
@@ -97,6 +115,76 @@ bool ResourceManager::tuple_is_bad(const Requirements& req,
   return false;
 }
 
+std::optional<double> ResourceManager::windowed_quantile(
+    const core::MeasurementDatabase& db, const core::Path& path,
+    core::Metric metric, sim::TimePoint now, sim::Duration window, double q,
+    bool upper, std::uint64_t* valid_samples) {
+  if (valid_samples != nullptr) *valid_samples = 0;
+  const sim::TimePoint t0 =
+      window.nanos() >= now.nanos() ? sim::TimePoint() : now - window;
+  const core::TierQueryResult result =
+      db.query(path, metric, t0, now, sim::Duration::ns(0));
+  // Each point stands in for valid_count raw samples at its min or max —
+  // the tail-conservative representative for the side being judged.
+  struct Entry {
+    double value;
+    std::uint64_t weight;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(result.points.size());
+  std::uint64_t total = 0;
+  for (const core::QueryPoint& p : result.points) {
+    if (p.valid_count == 0) continue;
+    entries.push_back(Entry{upper ? p.max : p.min, p.valid_count});
+    total += p.valid_count;
+  }
+  if (valid_samples != nullptr) *valid_samples = total;
+  if (total == 0) return std::nullopt;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.value < b.value; });
+  // Ascending rank ceil(q·N) for the upper tail; the mirrored N-ceil(q·N)+1
+  // for the lower tail (both leave the same number of samples beyond them).
+  const auto rank_up = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  const std::uint64_t rank =
+      upper ? std::max<std::uint64_t>(rank_up, 1)
+            : std::max<std::uint64_t>(total - rank_up + 1, 1);
+  std::uint64_t cumulative = 0;
+  for (const Entry& e : entries) {
+    cumulative += e.weight;
+    if (cumulative >= rank) return e.value;
+  }
+  return entries.back().value;
+}
+
+bool ResourceManager::trend_verdict(const Requirements& req,
+                                    const core::PathMetricTuple& tuple,
+                                    bool last_sample_bad) {
+  if (config_.trend.window.nanos() <= 0) return last_sample_bad;
+  bool upper;
+  double threshold;
+  if (tuple.metric == core::Metric::kOneWayLatency && req.max_latency_s > 0.0) {
+    upper = true;
+    threshold = req.max_latency_s;
+  } else if (tuple.metric == core::Metric::kThroughput &&
+             req.min_throughput_bps > 0.0) {
+    upper = false;
+    threshold = req.min_throughput_bps;
+  } else {
+    return last_sample_bad;
+  }
+  std::uint64_t n = 0;
+  const std::optional<double> tail = windowed_quantile(
+      director_.database(), tuple.path, tuple.metric, tuple.value.measured_at,
+      config_.trend.window, config_.trend.quantile, upper, &n);
+  if (!tail || n < static_cast<std::uint64_t>(config_.trend.min_samples)) {
+    return last_sample_bad;  // not enough history to trust the tail yet
+  }
+  const bool bad = upper ? *tail > threshold : *tail < threshold;
+  if (bad != last_sample_bad) ++trend_overrides_;
+  return bad;
+}
+
 void ResourceManager::on_tuple(const std::string& app_name,
                                const core::PathMetricTuple& tuple) {
   auto it = apps_.find(app_name);
@@ -116,7 +204,14 @@ void ResourceManager::on_tuple(const std::string& app_name,
   const net::IpAddr server = tuple.path.source().host;
   const net::IpAddr client = tuple.path.destination().host;
   int& strikes = state.strikes[{server, client}];
-  if (stale_bad || tuple_is_bad(state.app.requirements, tuple)) {
+  bool bad = stale_bad || tuple_is_bad(state.app.requirements, tuple);
+  // A valid performance sample may be re-judged by the window's tail
+  // quantile; liveness evidence (reachability, failed or stale samples)
+  // is never smoothed.
+  if (!stale_bad && tuple.value.valid) {
+    bad = trend_verdict(state.app.requirements, tuple, bad);
+  }
+  if (bad) {
     ++strikes;
   } else if (tuple.metric == core::Metric::kReachability ||
              tuple.metric == core::Metric::kThroughput) {
@@ -241,8 +336,20 @@ void ResourceManager::maybe_reconfigure(AppState& state) {
                                    "failing fraction " +
                                        std::to_string(fraction)};
   if (on_reconfig_) on_reconfig_(event);
-  for (const ReconfigCallback& listener : reconfig_listeners_) {
-    listener(event);
+  // Dispatch by handle snapshot: a listener may unregister itself (or any
+  // other listener) during the callback without invalidating this loop.
+  std::vector<ListenerHandle> snapshot;
+  snapshot.reserve(reconfig_listeners_.size());
+  for (const auto& [handle, listener] : reconfig_listeners_) {
+    snapshot.push_back(handle);
+  }
+  for (const ListenerHandle handle : snapshot) {
+    for (const auto& [h, listener] : reconfig_listeners_) {
+      if (h == handle) {
+        listener(event);
+        break;
+      }
+    }
   }
 }
 

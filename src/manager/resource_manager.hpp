@@ -58,6 +58,27 @@ class ResourceManager {
     // default it strikes the path like a failed sample instead of clearing
     // strikes like the good sample it superficially resembles.
     bool stale_is_bad = true;
+
+    // Trend-based breaker verdicts (DESIGN.md §13): judge throughput and
+    // latency tuples by a tail quantile over a range query of the tiered
+    // store instead of the last sample alone, so a single spike in an
+    // otherwise healthy window cannot strike the path — and a sustained
+    // shift strikes even when individual samples wobble around the
+    // threshold. Reachability, invalid, and stale samples always keep
+    // last-sample semantics (liveness must not be smoothed away).
+    struct TrendConfig {
+      // Query window ending at the tuple's timestamp; zero disables trend
+      // evaluation entirely (classic last-sample strikes).
+      sim::Duration window = sim::Duration::sec(0);
+      // Valid raw samples the window must hold before the quantile is
+      // trusted; fewer falls back to the last-sample verdict. 100 is the
+      // floor at which p99 excludes exactly one outlier.
+      int min_samples = 100;
+      // Tail fraction: latency uses the upper q-quantile (p99 high is bad),
+      // throughput the mirrored lower tail (p01 low is bad).
+      double quantile = 0.99;
+    };
+    TrendConfig trend;
   };
 
   using ReconfigCallback = std::function<void(const ReconfigurationEvent&)>;
@@ -82,10 +103,18 @@ class ResourceManager {
     on_reconfig_ = std::move(cb);
   }
   // Additional reconfiguration listeners (the user callback slot above stays
-  // independent); listeners fire after it, in registration order.
-  void add_reconfiguration_listener(ReconfigCallback cb) {
-    reconfig_listeners_.push_back(std::move(cb));
+  // independent); listeners fire after it, in registration order. The
+  // returned handle unregisters — anything shorter-lived than the manager
+  // (e.g. a control plane) must remove itself before its captures die.
+  using ListenerHandle = std::uint64_t;
+  ListenerHandle add_reconfiguration_listener(ReconfigCallback cb) {
+    const ListenerHandle handle = next_listener_++;
+    reconfig_listeners_.emplace_back(handle, std::move(cb));
+    return handle;
   }
+  // Safe on unknown handles and from inside a listener dispatch (the
+  // removed listener simply stops firing).
+  void remove_reconfiguration_listener(ListenerHandle handle);
   void set_tuple_observer(TupleObserver observer) {
     tuple_observer_ = std::move(observer);
   }
@@ -113,6 +142,20 @@ class ResourceManager {
   // Tuples consumed whose quality was degraded (retried/fallback/stale).
   std::uint64_t degraded_tuples() const { return degraded_tuples_; }
   std::uint64_t stale_tuples() const { return stale_tuples_; }
+  // Tuples whose trend verdict disagreed with (and overrode) the
+  // last-sample verdict — both directions count.
+  std::uint64_t trend_overrides() const { return trend_overrides_; }
+
+  // Weighted tail quantile over a tiered range query: points are weighed by
+  // their valid sample count and represented by their max (`upper` true, the
+  // latency convention) or min (`upper` false, throughput — evaluated at the
+  // mirrored lower rank). Returns nullopt when the window holds no valid
+  // samples; `valid_samples` (optional) receives the window's valid count so
+  // callers can apply a min-samples floor. Exposed for direct testing.
+  static std::optional<double> windowed_quantile(
+      const core::MeasurementDatabase& db, const core::Path& path,
+      core::Metric metric, sim::TimePoint now, sim::Duration window, double q,
+      bool upper, std::uint64_t* valid_samples = nullptr);
 
  private:
   struct AppState {
@@ -127,6 +170,8 @@ class ResourceManager {
                 const core::PathMetricTuple& tuple);
   bool tuple_is_bad(const Requirements& req,
                     const core::PathMetricTuple& tuple) const;
+  bool trend_verdict(const Requirements& req,
+                     const core::PathMetricTuple& tuple, bool last_sample_bad);
   void maybe_reconfigure(AppState& state);
   std::optional<net::IpAddr> pick_replacement(const AppState& state) const;
   core::MonitorRequest build_request(const ManagedApplication& app) const;
@@ -134,13 +179,15 @@ class ResourceManager {
   core::SensorDirector& director_;
   Config config_;
   ReconfigCallback on_reconfig_;
-  std::vector<ReconfigCallback> reconfig_listeners_;
+  std::vector<std::pair<ListenerHandle, ReconfigCallback>> reconfig_listeners_;
+  ListenerHandle next_listener_ = 1;
   TupleObserver tuple_observer_;
   std::map<std::string, AppState> apps_;
   std::uint64_t tuples_consumed_ = 0;
   std::uint64_t reconfigurations_ = 0;
   std::uint64_t degraded_tuples_ = 0;
   std::uint64_t stale_tuples_ = 0;
+  std::uint64_t trend_overrides_ = 0;
 };
 
 }  // namespace netmon::mgr

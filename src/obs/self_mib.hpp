@@ -20,6 +20,13 @@
 // as zero rather than dangling; rows for metrics added later appear on the
 // next refresh(). Row indices are assigned in name-sorted order at refresh
 // time, matching snapshot order.
+//
+// With a tiered MeasurementDatabase attached to the registry (DESIGN.md
+// §13), its "db.pool.*" gauges land in selfGaugeTable and the per-tier
+// "db.tier<t>.{rollovers,evictions}" counters in selfCounterTable — the
+// storage engine's page/rollover/eviction accounting is SNMP-walkable like
+// everything else (tests/db_scale_test.cpp asserts the memory bound
+// straight off this table).
 
 #include <cstdint>
 #include <string>

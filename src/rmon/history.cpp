@@ -1,14 +1,27 @@
 #include "rmon/history.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace netmon::rmon {
 
 HistoryGroup::HistoryGroup(sim::Simulator& sim, sim::Duration interval,
-                           std::size_t bucket_count, Sources sources)
-    : interval_(interval), sources_(std::move(sources)), buckets_(bucket_count) {
+                           std::size_t bucket_count, Sources sources,
+                           std::size_t long_term_factor,
+                           std::size_t long_term_buckets)
+    : interval_(interval),
+      sources_(std::move(sources)),
+      buckets_(bucket_count),
+      long_term_factor_(long_term_factor) {
   if (!sources_.packets || !sources_.octets || !sources_.local_clock) {
     throw std::invalid_argument("HistoryGroup: missing sources");
+  }
+  if (long_term_factor_ > 0) {
+    if (long_term_factor_ < 2 || long_term_buckets == 0) {
+      throw std::invalid_argument(
+          "HistoryGroup: long-term tier needs factor >= 2 and depth >= 1");
+    }
+    long_term_.emplace(long_term_buckets);
   }
   last_packets_ = sources_.packets();
   last_octets_ = sources_.octets();
@@ -34,6 +47,28 @@ void HistoryGroup::roll() {
   }
   buckets_.push(bucket);
   ++intervals_completed_;
+
+  if (long_term_factor_ > 0) {
+    LongTermBucket& acc = accumulating_;
+    if (acc.intervals == 0) {
+      acc.start_local = bucket.start_local;
+      acc.min_utilization = acc.max_utilization = bucket.utilization;
+    } else {
+      acc.min_utilization = std::min(acc.min_utilization, bucket.utilization);
+      acc.max_utilization = std::max(acc.max_utilization, bucket.utilization);
+    }
+    acc.packets += bucket.packets;
+    acc.octets += bucket.octets;
+    acc.broadcast_pkts += bucket.broadcast_pkts;
+    // mean_utilization holds the running sum until the bucket completes.
+    acc.mean_utilization += bucket.utilization;
+    ++acc.intervals;
+    if (acc.intervals == long_term_factor_) {
+      acc.mean_utilization /= static_cast<double>(acc.intervals);
+      long_term_->push(acc);
+      accumulating_ = LongTermBucket{};
+    }
+  }
 
   last_packets_ = packets;
   last_octets_ = octets;

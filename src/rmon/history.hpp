@@ -2,10 +2,16 @@
 
 // RMON history group: periodic buckets of segment activity with a bounded
 // number of retained intervals (oldest overwritten), timestamped with the
-// probe's local (granular, drifting) clock.
+// probe's local (granular, drifting) clock. An optional long-term tier
+// aggregates every `long_term_factor` completed intervals into one coarse
+// bucket (min/mean/max utilization + summed counters) — the same rollup
+// shape as the tiered measurement store (DESIGN.md §13), mirroring RMON's
+// convention of running a short- and a long-interval control row side by
+// side on one data source.
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "sim/simulator.hpp"
 #include "util/ring_buffer.hpp"
@@ -20,6 +26,18 @@ struct HistoryBucket {
   double utilization = 0.0;  // fraction of the interval the medium was used
 };
 
+// One long-term bucket: `intervals` consecutive base buckets rolled up.
+struct LongTermBucket {
+  sim::TimePoint start_local;  // probe clock at the first base interval
+  std::uint64_t packets = 0;
+  std::uint64_t octets = 0;
+  std::uint64_t broadcast_pkts = 0;
+  double min_utilization = 0.0;
+  double max_utilization = 0.0;
+  double mean_utilization = 0.0;
+  std::uint32_t intervals = 0;
+};
+
 class HistoryGroup {
  public:
   struct Sources {
@@ -30,12 +48,20 @@ class HistoryGroup {
     double bandwidth_bps = 0.0;
   };
 
+  // `long_term_factor` base intervals per long-term bucket (0 disables the
+  // long-term tier); `long_term_buckets` is its retained depth.
   HistoryGroup(sim::Simulator& sim, sim::Duration interval,
-               std::size_t bucket_count, Sources sources);
+               std::size_t bucket_count, Sources sources,
+               std::size_t long_term_factor = 0,
+               std::size_t long_term_buckets = 0);
 
   sim::Duration interval() const { return interval_; }
   const util::RingBuffer<HistoryBucket>& buckets() const { return buckets_; }
   std::uint64_t intervals_completed() const { return intervals_completed_; }
+  // Null when the long-term tier is disabled.
+  const util::RingBuffer<LongTermBucket>* long_term() const {
+    return long_term_ ? &*long_term_ : nullptr;
+  }
   void stop() { task_.cancel(); }
 
  private:
@@ -50,6 +76,12 @@ class HistoryGroup {
   std::uint64_t last_broadcasts_ = 0;
   sim::TimePoint interval_start_local_{};
   sim::PeriodicTask task_;
+
+  // Long-term tier accumulator (folds finished base buckets until `factor`
+  // of them are in, then pushes one coarse bucket).
+  std::size_t long_term_factor_ = 0;
+  std::optional<util::RingBuffer<LongTermBucket>> long_term_;
+  LongTermBucket accumulating_{};
 };
 
 }  // namespace netmon::rmon

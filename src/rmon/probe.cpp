@@ -138,7 +138,9 @@ void Probe::register_mib() {
   });
 }
 
-HistoryGroup& Probe::add_history(sim::Duration interval, std::size_t buckets) {
+HistoryGroup& Probe::add_history(sim::Duration interval, std::size_t buckets,
+                                 std::size_t long_term_factor,
+                                 std::size_t long_term_buckets) {
   HistoryGroup::Sources sources;
   sources.packets = [this] { return stats_.packets; };
   sources.octets = [this] { return stats_.octets; };
@@ -146,7 +148,8 @@ HistoryGroup& Probe::add_history(sim::Duration interval, std::size_t buckets) {
   sources.local_clock = [this] { return host_.clock().local_now(); };
   sources.bandwidth_bps = segment_.bandwidth_bps();
   histories_.push_back(std::make_unique<HistoryGroup>(
-      host_.simulator(), interval, buckets, std::move(sources)));
+      host_.simulator(), interval, buckets, std::move(sources),
+      long_term_factor, long_term_buckets));
   return *histories_.back();
 }
 

@@ -72,7 +72,11 @@ class Probe {
   std::uint64_t frames_seen_from(net::MacAddr src) const;
 
   // --- history group -------------------------------------------------------
-  HistoryGroup& add_history(sim::Duration interval, std::size_t buckets);
+  // Optional long-term tier: every `long_term_factor` completed intervals
+  // fold into one coarse bucket, `long_term_buckets` deep (0 disables).
+  HistoryGroup& add_history(sim::Duration interval, std::size_t buckets,
+                            std::size_t long_term_factor = 0,
+                            std::size_t long_term_buckets = 0);
   const std::vector<std::unique_ptr<HistoryGroup>>& histories() const {
     return histories_;
   }

@@ -1,14 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "apps/rtds.hpp"
 #include "apps/testbed.hpp"
 #include "core/high_fidelity_monitor.hpp"
+#include "core/measurement_db.hpp"
 #include "manager/resource_manager.hpp"
 
 namespace netmon::mgr {
 namespace {
 
 using sim::Duration;
+using sim::TimePoint;
 
 class ManagerFixture : public ::testing::Test {
  protected:
@@ -190,6 +195,250 @@ TEST_F(ManagerFixture, ThroughputRequirementTriggersStrikes) {
   manager.manage(app, bed->server_ip(0));
   sim.run_for(Duration::sec(60));
   EXPECT_GE(manager.reconfigurations(), 1u);
+}
+
+TEST_F(ManagerFixture, RemovedListenerNeverFiresEvenAfterCapturesDie) {
+  // Regression for the handle-based listener API: a listener whose captured
+  // state is shorter-lived than the manager must be able to unregister and
+  // then die without the next reconfiguration touching its dead captures
+  // (the sanitize preset turns a missed removal into a hard ASan report).
+  ResourceManager manager(monitor->director(), fast_config());
+  int kept_fires = 0;
+  manager.add_reconfiguration_listener(
+      [&](const ReconfigurationEvent&) { ++kept_fires; });
+
+  auto doomed = std::make_unique<std::vector<int>>(64, 41);
+  const auto removed = manager.add_reconfiguration_listener(
+      [buf = doomed.get()](const ReconfigurationEvent&) { (*buf)[0] += 1; });
+  manager.remove_reconfiguration_listener(removed);
+  manager.remove_reconfiguration_listener(removed);  // double remove: no-op
+  manager.remove_reconfiguration_listener(999999);   // unknown: no-op
+  doomed.reset();  // the removed listener's capture is now a dangling pointer
+
+  manager.manage(rtds_app(), bed->server_ip(0));
+  bed->server(0).set_up(false);
+  sim.run_for(Duration::sec(60));
+  ASSERT_GE(manager.reconfigurations(), 1u);
+  EXPECT_GE(kept_fires, 1);
+}
+
+TEST_F(ManagerFixture, ListenerCanRemoveItselfDuringDispatch) {
+  ResourceManager manager(monitor->director(), fast_config());
+  int once_fires = 0;
+  int steady_fires = 0;
+  ResourceManager::ListenerHandle once = 0;
+  once = manager.add_reconfiguration_listener([&](const ReconfigurationEvent&) {
+    ++once_fires;
+    manager.remove_reconfiguration_listener(once);  // from inside dispatch
+  });
+  manager.add_reconfiguration_listener(
+      [&](const ReconfigurationEvent&) { ++steady_fires; });
+
+  manager.manage(rtds_app(), bed->server_ip(0));
+  bed->server(0).set_up(false);
+  sim.run_for(Duration::sec(60));
+  ASSERT_GE(manager.reconfigurations(), 1u);
+
+  // Kill the replacement too: the second reconfiguration must still reach
+  // the remaining listener but never the self-removed one.
+  const auto active = manager.active_server("rtds");
+  for (int s = 0; s < bed->server_count(); ++s) {
+    if (bed->server_ip(s) == active) bed->server(s).set_up(false);
+  }
+  sim.run_for(Duration::sec(60));
+  ASSERT_GE(manager.reconfigurations(), 2u);
+  EXPECT_EQ(once_fires, 1);
+  EXPECT_EQ(static_cast<std::uint64_t>(steady_fires),
+            manager.reconfigurations());
+}
+
+TEST(WindowedQuantile, WeighsTailsOverTheWindowAndSkipsInvalidSamples) {
+  // Direct unit test of the trend breaker's quantile on a hand-built tiered
+  // database: 120 quiet latency samples, one spike, one failed measurement.
+  core::MeasurementDatabase db;
+  const core::Path path(
+      core::ProcessEndpoint{"s", net::IpAddr(10, 0, 0, 1), 7},
+      core::ProcessEndpoint{"c", net::IpAddr(10, 0, 1, 1), 7});
+  const core::PathId id = db.id_of(path);
+  constexpr std::int64_t kMs = 1'000'000;
+  for (int i = 1; i <= 120; ++i) {
+    db.record(id, core::Metric::kOneWayLatency,
+              core::MetricValue::of(0.01, TimePoint::from_nanos(i * kMs)));
+  }
+  db.record(id, core::Metric::kOneWayLatency,
+            core::MetricValue::of(5.0, TimePoint::from_nanos(121 * kMs)));
+  db.record(id, core::Metric::kOneWayLatency,
+            core::MetricValue::failed(TimePoint::from_nanos(122 * kMs)));
+
+  const TimePoint now = TimePoint::from_nanos(122 * kMs);
+  std::uint64_t n = 0;
+
+  // p99 over 121 valid samples: rank ceil(0.99*121)=120 — the single spike
+  // (rank 121) is excluded; the failed sample never counts.
+  auto p99 = ResourceManager::windowed_quantile(
+      db, path, core::Metric::kOneWayLatency, now, Duration::sec(60), 0.99,
+      /*upper=*/true, &n);
+  ASSERT_TRUE(p99.has_value());
+  EXPECT_EQ(n, 121u);
+  EXPECT_DOUBLE_EQ(*p99, 0.01);
+
+  // The extreme tail does reach the spike (rank ceil(0.999*121)=121).
+  auto p999 = ResourceManager::windowed_quantile(
+      db, path, core::Metric::kOneWayLatency, now, Duration::sec(60), 0.999,
+      /*upper=*/true);
+  ASSERT_TRUE(p999.has_value());
+  EXPECT_DOUBLE_EQ(*p999, 5.0);
+
+  // Mirrored lower tail (the throughput convention): rank 121-120+1=2, so a
+  // single low outlier would be excluded the same way.
+  auto lower = ResourceManager::windowed_quantile(
+      db, path, core::Metric::kOneWayLatency, now, Duration::sec(60), 0.99,
+      /*upper=*/false);
+  ASSERT_TRUE(lower.has_value());
+  EXPECT_DOUBLE_EQ(*lower, 0.01);
+
+  // A short window narrows the population: [117ms, 122ms] holds 5 valid
+  // samples, so rank ceil(0.99*5)=5 lands on the spike.
+  auto recent = ResourceManager::windowed_quantile(
+      db, path, core::Metric::kOneWayLatency, now, Duration::ms(5), 0.99,
+      /*upper=*/true, &n);
+  ASSERT_TRUE(recent.has_value());
+  EXPECT_EQ(n, 5u);
+  EXPECT_DOUBLE_EQ(*recent, 5.0);
+
+  // A metric with no data at all: nullopt, zero valid samples.
+  auto none = ResourceManager::windowed_quantile(
+      db, path, core::Metric::kThroughput, now, Duration::sec(60), 0.99,
+      /*upper=*/true, &n);
+  EXPECT_FALSE(none.has_value());
+  EXPECT_EQ(n, 0u);
+}
+
+// Latency sensor with a shaped per-call value: a quiet base latency, with a
+// degraded value for paths from one server starting at a given global call
+// index — either one spike or a sustained shift. Completes via the simulator
+// so rounds interleave like a real sensor's.
+class ShapedLatencySensor : public core::NetworkSensor {
+ public:
+  explicit ShapedLatencySensor(sim::Simulator& sim) : sim_(sim) {}
+  std::string name() const override { return "shaped-latency"; }
+  bool supports(core::Metric m) const override {
+    return m == core::Metric::kOneWayLatency;
+  }
+  void measure(const core::Path& path, core::Metric, Done done) override {
+    double v = base;
+    const int call = calls_++;
+    if (path.source().host == degraded_source && call >= degrade_from) {
+      if (!single_spike) {
+        v = degraded_value;
+      } else if (!spiked_) {
+        v = degraded_value;
+        spiked_ = true;
+      }
+    }
+    sim_.schedule_in(Duration::ms(1), [this, v, done = std::move(done)] {
+      done(core::MetricValue::of(v, sim_.now()));
+    });
+  }
+
+  double base = 0.01;
+  double degraded_value = 10.0;
+  net::IpAddr degraded_source;
+  int degrade_from = 1 << 30;
+  bool single_spike = false;
+
+ private:
+  sim::Simulator& sim_;
+  int calls_ = 0;
+  bool spiked_ = false;
+};
+
+struct TrendHarness {
+  TrendHarness() : director(sim, 1), sensor(sim) {
+    director.register_sensor(core::Metric::kOneWayLatency, &sensor);
+  }
+
+  ManagedApplication latency_app() const {
+    ManagedApplication app;
+    app.name = "shaped";
+    app.server_pool = {net::IpAddr(10, 0, 0, 1), net::IpAddr(10, 0, 0, 2)};
+    app.client_pool = {net::IpAddr(10, 0, 1, 1)};
+    app.port = 7;
+    app.requirements.require_reachability = false;
+    app.requirements.max_latency_s = 0.1;
+    return app;
+  }
+
+  static ResourceManager::Config trend_config() {
+    ResourceManager::Config cfg;
+    cfg.metrics = {core::Metric::kOneWayLatency};
+    cfg.strikes = 1;  // a single bad verdict is enough without the trend
+    cfg.trend.window = Duration::sec(60);
+    cfg.trend.min_samples = 100;
+    return cfg;
+  }
+
+  sim::Simulator sim;
+  core::SensorDirector director;
+  ShapedLatencySensor sensor;
+};
+
+TEST(TrendBreaker, IsolatedSpikeIsSuppressedByTheWindowQuantile) {
+  // 10s of latency that would trip the last-sample breaker exactly once: the
+  // p99 over the window stays quiet, so the trend verdict overrides the
+  // strike and no reconfiguration happens.
+  TrendHarness h;
+  const auto app = h.latency_app();
+  h.sensor.degraded_source = app.server_pool[0];
+  h.sensor.degrade_from = 250;  // ~125 prior samples on the degraded path
+  h.sensor.single_spike = true;
+
+  ResourceManager manager(h.director, TrendHarness::trend_config());
+  manager.manage(app, app.server_pool[0]);
+  h.sim.run_for(Duration::ms(700));
+
+  EXPECT_EQ(manager.reconfigurations(), 0u);
+  EXPECT_GE(manager.trend_overrides(), 1u);
+  EXPECT_EQ(
+      manager.path_strikes("shaped", app.server_pool[0], app.client_pool[0]),
+      0);
+  EXPECT_EQ(manager.active_server("shaped"), app.server_pool[0]);
+}
+
+TEST(TrendBreaker, SustainedShiftPushesTheQuantileOverAndFailsOver) {
+  // The same setup but the degradation persists: within a few samples the
+  // window p99 itself crosses max_latency_s, the path strikes, and the
+  // manager fails over to the healthy pool member.
+  TrendHarness h;
+  const auto app = h.latency_app();
+  h.sensor.degraded_source = app.server_pool[0];
+  h.sensor.degrade_from = 250;
+  h.sensor.single_spike = false;
+
+  ResourceManager manager(h.director, TrendHarness::trend_config());
+  manager.manage(app, app.server_pool[0]);
+  h.sim.run_for(Duration::ms(700));
+
+  EXPECT_GE(manager.reconfigurations(), 1u);
+  EXPECT_EQ(manager.active_server("shaped"), app.server_pool[1]);
+  // The first degraded sample was still overridden (suppressed) before the
+  // tail itself crossed — the counter sees both directions of disagreement.
+  EXPECT_GE(manager.trend_overrides(), 1u);
+}
+
+TEST(TrendBreaker, InvalidTrendConfigRejected) {
+  sim::Simulator sim;
+  core::SensorDirector director(sim, 1);
+  ResourceManager::Config cfg;
+  cfg.trend.window = Duration::sec(10);
+  cfg.trend.quantile = 0.4;  // must be in (0.5, 1)
+  EXPECT_THROW(ResourceManager(director, cfg), std::invalid_argument);
+  cfg.trend.quantile = 0.99;
+  cfg.trend.min_samples = 0;
+  EXPECT_THROW(ResourceManager(director, cfg), std::invalid_argument);
+  cfg.trend.min_samples = 1;
+  ResourceManager ok(director, cfg);  // valid again
+  EXPECT_EQ(ok.trend_overrides(), 0u);
 }
 
 }  // namespace

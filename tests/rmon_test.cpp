@@ -107,6 +107,100 @@ TEST_F(ProbeFixture, HistoryBucketsRollAtInterval) {
   EXPECT_NEAR(bucket.utilization, 0.22, 0.12);  // ~2.2 Mb/s on 10 Mb/s wire
 }
 
+TEST(HistoryLongTerm, FactorRollupAggregatesBaseBuckets) {
+  // Synthetic sources so every base interval's content is exact: interval k
+  // (1-based) carries k packets of 100 octets -> utilization 0.1*k on an
+  // 8 kb/s medium. Factor 4, depth 2: after 12 intervals the ring holds the
+  // rollups of intervals 5..8 and 9..12.
+  sim::Simulator sim;
+  std::uint64_t packets = 0;
+  std::uint64_t octets = 0;
+  std::uint64_t broadcasts = 0;
+  HistoryGroup::Sources sources;
+  sources.packets = [&] { return packets; };
+  sources.octets = [&] { return octets; };
+  sources.broadcasts = [&] { return broadcasts; };
+  sources.local_clock = [&] { return sim.now(); };
+  sources.bandwidth_bps = 8000.0;
+  HistoryGroup history(sim, Duration::sec(1), 8, sources,
+                       /*long_term_factor=*/4, /*long_term_buckets=*/2);
+  for (int k = 1; k <= 12; ++k) {
+    sim.schedule_in(Duration::ms(k * 1000 - 500), [&, k] {
+      packets += static_cast<std::uint64_t>(k);
+      octets += static_cast<std::uint64_t>(k) * 100;
+      ++broadcasts;
+    });
+  }
+  sim.run_for(Duration::sec(12));
+  history.stop();
+
+  EXPECT_EQ(history.intervals_completed(), 12u);
+  const auto* lt = history.long_term();
+  ASSERT_NE(lt, nullptr);
+  ASSERT_EQ(lt->size(), 2u);  // rollup of 1..4 was overwritten
+
+  const LongTermBucket& mid = lt->oldest();  // intervals 5..8
+  EXPECT_EQ(mid.intervals, 4u);
+  EXPECT_EQ(mid.packets, 26u);  // 5+6+7+8
+  EXPECT_EQ(mid.octets, 2600u);
+  EXPECT_EQ(mid.broadcast_pkts, 4u);
+  EXPECT_NEAR(mid.min_utilization, 0.5, 1e-9);
+  EXPECT_NEAR(mid.max_utilization, 0.8, 1e-9);
+  EXPECT_NEAR(mid.mean_utilization, 0.65, 1e-9);
+
+  const LongTermBucket& last = lt->newest();  // intervals 9..12
+  EXPECT_EQ(last.intervals, 4u);
+  EXPECT_EQ(last.packets, 42u);
+  EXPECT_EQ(last.octets, 4200u);
+  EXPECT_NEAR(last.min_utilization, 0.9, 1e-9);
+  EXPECT_NEAR(last.max_utilization, 1.2, 1e-9);
+  EXPECT_NEAR(last.mean_utilization, 1.05, 1e-9);
+  // The coarse bucket starts where its first base interval started.
+  EXPECT_EQ(last.start_local.nanos(), 8'000'000'000);
+}
+
+TEST(HistoryLongTerm, DisabledTierIsNullAndInvalidConfigRejected) {
+  sim::Simulator sim;
+  HistoryGroup::Sources sources;
+  sources.packets = [] { return std::uint64_t{0}; };
+  sources.octets = [] { return std::uint64_t{0}; };
+  sources.local_clock = [&] { return sim.now(); };
+  HistoryGroup plain(sim, Duration::sec(1), 4, sources);
+  EXPECT_EQ(plain.long_term(), nullptr);
+  plain.stop();
+  EXPECT_THROW(HistoryGroup(sim, Duration::sec(1), 4, sources, 1, 2),
+               std::invalid_argument);  // factor must be >= 2
+  EXPECT_THROW(HistoryGroup(sim, Duration::sec(1), 4, sources, 4, 0),
+               std::invalid_argument);  // depth must be >= 1
+}
+
+TEST_F(ProbeFixture, ProbeHistoryCanCarryLongTermTier) {
+  // The probe-level wiring: a short-interval row with a long-term tier
+  // folding every 2 base intervals, fed by real segment traffic.
+  auto& history = probe->add_history(Duration::ms(500), 4,
+                                     /*long_term_factor=*/2,
+                                     /*long_term_buckets=*/4);
+  blast(20);  // runs the sim for 2 s -> 4 base intervals -> 2 coarse buckets
+  const auto* lt = history.long_term();
+  ASSERT_NE(lt, nullptr);
+  ASSERT_GE(lt->size(), 1u);
+  std::uint64_t base_packets = 0;
+  for (std::size_t i = 0; i < history.buckets().size(); ++i) {
+    base_packets += history.buckets()[i].packets;
+  }
+  std::uint64_t coarse_packets = 0;
+  for (std::size_t i = 0; i < lt->size(); ++i) {
+    coarse_packets += (*lt)[i].packets;
+    EXPECT_EQ((*lt)[i].intervals, 2u);
+    EXPECT_LE((*lt)[i].min_utilization, (*lt)[i].mean_utilization);
+    EXPECT_LE((*lt)[i].mean_utilization, (*lt)[i].max_utilization);
+  }
+  // Every frame the base tier saw is represented exactly once in the coarse
+  // tier (base depth 4 = factor x depth covers the same horizon here).
+  EXPECT_EQ(coarse_packets, base_packets);
+  EXPECT_GT(coarse_packets, 0u);
+}
+
 TEST_F(ProbeFixture, HistoryTimestampsUseGranularClock) {
   auto& history = probe->add_history(Duration::ms(500), 8);
   sim.run_for(Duration::sec(2));

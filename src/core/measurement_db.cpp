@@ -43,6 +43,17 @@ void MeasurementDatabase::record(PathId id, Metric metric,
     store_.record(static_cast<std::uint32_t>(slot(id, metric)),
                   value.measured_at.nanos(), value.value, value.valid);
   }
+  if (record_hook_) record_hook_(id, metric, value);
+}
+
+void MeasurementDatabase::record_current(PathId id, Metric metric,
+                                         const MetricValue& value) {
+  Series& series = series_[slot(id, metric)];
+  if (series.history.empty()) ++tracked_series_;
+  const Measurement m{value};
+  series.history.push(m);
+  if (value.valid) series.last_valid = m;
+  ++records_written_;
 }
 
 std::optional<Measurement> MeasurementDatabase::current(
@@ -95,7 +106,35 @@ void MeasurementDatabase::attach_observability(obs::Registry& registry,
   store_.attach_observability(registry, obs_prefix_);
 }
 
+void MeasurementDatabase::publish_retention_horizons(obs::Registry& registry,
+                                                     const std::string& prefix) {
+  if constexpr (!obs::kCompiledIn) {
+    (void)registry;
+    (void)prefix;
+    return;
+  }
+  if (horizon_registry_ != nullptr) {
+    horizon_registry_->remove_prefix(horizon_prefix_);
+  }
+  horizon_registry_ = &registry;
+  horizon_prefix_ = prefix;
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    if (series_[s].history.empty()) continue;
+    const std::string name = prefix + "." + path_of(slot_path(s)).to_string() +
+                             "." + to_string(slot_metric(s)) +
+                             ".retention_horizon_ns";
+    registry.gauge_fn(name, [this, s] {
+      const auto h = store_.retention_horizon(static_cast<std::uint32_t>(s));
+      return h ? static_cast<double>(*h) : -1.0;
+    });
+  }
+}
+
 void MeasurementDatabase::detach_observability() {
+  if (horizon_registry_ != nullptr) {
+    horizon_registry_->remove_prefix(horizon_prefix_);
+    horizon_registry_ = nullptr;
+  }
   if (obs_registry_ == nullptr) return;
   store_.detach_observability();
   obs_registry_->remove_prefix(obs_prefix_);

@@ -12,6 +12,7 @@
 // for callers that do not hold an id.
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -82,6 +83,49 @@ class MeasurementDatabase {
   }
   // The storage engine itself, for stats/tier introspection.
   const TieredStore& tiered() const { return store_; }
+  TieredStore& tiered() { return store_; }
+
+  // Federation surfaces (DESIGN.md §14). These split record()'s two halves
+  // so a parent can merge a child's stream without double-counting:
+  //
+  // merge_points feeds already-aggregated tier points into the tiered store
+  // ONLY — the ring/last-known fast path is untouched, so replayed pages
+  // can never duplicate what deltas already delivered.
+  void merge_points(PathId id, Metric metric, const TierPoint* points,
+                    std::size_t n) {
+    store_.import_points(static_cast<std::uint32_t>(slot(id, metric)), points,
+                         n);
+  }
+  // record_current updates the ring/last-known fast path ONLY — the store
+  // never sees it, so a delta and the page that later summarizes the same
+  // sample land in disjoint structures. Senescence and current/last_known
+  // behave exactly as for locally recorded samples.
+  void record_current(PathId id, Metric metric, const MetricValue& value);
+
+  // Called at the end of every record() with the sample just written — the
+  // child side of federation taps its outbound delta stream here. Null (the
+  // default) costs one branch; the hook must not reenter the database.
+  using RecordHook =
+      std::function<void(PathId, Metric, const MetricValue&)>;
+  void set_record_hook(RecordHook hook) { record_hook_ = std::move(hook); }
+
+  // Inverse of slot(): which (path, metric) a dense series index refers to.
+  PathId slot_path(std::size_t series_slot) const {
+    return static_cast<PathId>(series_slot / kMetricCount);
+  }
+  Metric slot_metric(std::size_t series_slot) const {
+    return static_cast<Metric>(series_slot % kMetricCount);
+  }
+  std::size_t series_slot(PathId id, Metric metric) const {
+    return slot(id, metric);
+  }
+
+  // Registers "<prefix>.<path>.<metric>.retention_horizon_ns" gauges for
+  // every series currently tracked by the tiered store (ROADMAP follow-on:
+  // per-series retention horizons in the SelfMib). Value is the oldest
+  // retained timestamp, -1 while the series holds no tiered data.
+  void publish_retention_horizons(obs::Registry& registry,
+                                  const std::string& prefix);
 
   // Path-keyed convenience wrappers. record() interns; the read-only calls
   // return "never sampled" for paths that were never recorded.
@@ -164,6 +208,9 @@ class MeasurementDatabase {
   std::string obs_prefix_;
   obs::Histogram* obs_interval_ = nullptr;
   obs::Histogram* obs_age_read_ = nullptr;
+  obs::Registry* horizon_registry_ = nullptr;
+  std::string horizon_prefix_;
+  RecordHook record_hook_;
 };
 
 }  // namespace netmon::core

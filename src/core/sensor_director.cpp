@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/backoff.hpp"
 #include "util/logging.hpp"
 
 namespace netmon::core {
@@ -309,22 +310,15 @@ void SensorDirector::exhaust(const std::shared_ptr<Job>& job,
 }
 
 sim::Duration SensorDirector::backoff_delay(const Job& job) const {
-  std::int64_t ns = supervision_.backoff_base.nanos();
-  const std::int64_t cap =
-      std::max<std::int64_t>(ns, supervision_.backoff_max.nanos());
-  for (int i = 1; i < job.attempt && ns < cap; ++i) ns *= 2;
-  if (ns > cap) ns = cap;
-  // Deterministic jitter in [0, 25%) of the backoff, derived from the job
-  // identity so paths sharing a failure do not retry in lockstep — and two
-  // runs of the same scenario stay bit-identical.
-  std::uint64_t h = (std::uint64_t(job.path_id) << 16) ^
-                    (std::uint64_t(job.attempt) << 8) ^
-                    std::uint64_t(job.metric);
-  h *= 0x9E3779B97F4A7C15ull;
-  h ^= h >> 29;
-  h *= 0xBF58476D1CE4E5B9ull;
-  h ^= h >> 32;
-  return sim::Duration::ns(ns + static_cast<std::int64_t>(h % 1024) * ns / 4096);
+  // Jitter keyed by the job identity so paths sharing a failure do not retry
+  // in lockstep — and two runs of the same scenario stay bit-identical
+  // (util/backoff.hpp; the formula moved there verbatim, so supervised
+  // schedules are unchanged).
+  const std::uint64_t key = (std::uint64_t(job.path_id) << 16) ^
+                            (std::uint64_t(job.attempt) << 8) ^
+                            std::uint64_t(job.metric);
+  return util::jittered_backoff(supervision_.backoff_base,
+                                supervision_.backoff_max, job.attempt, key);
 }
 
 void SensorDirector::attach_observability(obs::Registry& registry,

@@ -100,6 +100,33 @@ void TieredStore::record(std::uint32_t series, std::int64_t at_ns,
   append_point(series, s, 0, point);
 }
 
+void TieredStore::import_points(std::uint32_t series, const TierPoint* points,
+                                std::size_t n) {
+  if (!config_.enabled || n == 0) return;
+  SeriesState& s = series_state(series);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TierPoint& p = points[i];
+    if (s.samples == 0) s.first_ns = p.first_ns;
+    s.last_ns = p.last_ns;
+    s.samples += p.count;
+    ++stats_.imported_points;
+    append_point(series, s, 0, p);
+  }
+}
+
+std::optional<std::int64_t> TieredStore::retention_horizon(
+    std::uint32_t series) const {
+  if (!config_.enabled || series >= series_.size()) return std::nullopt;
+  const SeriesState& s = series_[series];
+  if (s.tiers.empty()) return std::nullopt;
+  std::int64_t earliest = kNever;
+  for (std::size_t t = 0; t < config_.tiers; ++t) {
+    earliest = std::min(earliest, retained_start(s, t));
+  }
+  if (earliest == kNever) return std::nullopt;
+  return earliest;
+}
+
 void TieredStore::append_point(std::uint32_t series, SeriesState& s,
                                std::size_t tier, const TierPoint& point) {
   TierState& ts = s.tiers[tier];
@@ -127,6 +154,12 @@ void TieredStore::seal_page(std::uint32_t series, SeriesState& s,
   ++tier_stats_[tier].rollovers;
   if constexpr (obs::kCompiledIn) {
     if (obs_rollovers_[tier] != nullptr) obs_rollovers_[tier]->inc();
+  }
+  // The hook sees the page before the recursive rollup below, which may
+  // need a page and evict — possibly this very one.
+  if (seal_hook_) {
+    const Page& page = pool_[page_index];
+    seal_hook_(series, tier, page.points.data(), page.used);
   }
   if (tier + 1 >= config_.tiers) return;
 

@@ -31,6 +31,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -118,6 +120,7 @@ struct StoreStats {
   std::uint64_t pool_pages = 0;  // allocated from the heap (never shrinks)
   std::uint64_t overcommits = 0;  // allocations past max_pages (all open)
   std::uint64_t samples = 0;      // raw samples recorded (cumulative)
+  std::uint64_t imported_points = 0;  // points merged via import_points
   std::uint64_t bytes = 0;        // live point payload, pages × page bytes
 };
 
@@ -138,6 +141,29 @@ class TieredStore {
   // out-of-order samples are stored as-is and keep positional first/last.
   void record(std::uint32_t series, std::int64_t at_ns, double value,
               bool valid);
+
+  // Bulk import of already-aggregated points into tier 0 of `series` —
+  // the receive side of federation (DESIGN.md §14): a parent merges a
+  // child's sealed pages here. Points keep their counts (an imported point
+  // may summarize many raw samples), participate in rollup/sealing/eviction
+  // like locally recorded data, and are expected in non-decreasing time
+  // order per series, like record().
+  void import_points(std::uint32_t series, const TierPoint* points,
+                     std::size_t n);
+
+  // Called when a page seals, after it is marked sealed and before its
+  // points roll up a tier — the points are intact and the hook may copy
+  // them (federation spools tier-0 pages here). The hook MUST NOT reenter
+  // the store: the sealing page is mid-mutation. Null (the default) costs
+  // one branch per seal.
+  using SealHook = std::function<void(std::uint32_t series, std::size_t tier,
+                                      const TierPoint* points, std::size_t n)>;
+  void set_seal_hook(SealHook hook) { seal_hook_ = std::move(hook); }
+
+  // Oldest timestamp still retained for `series` across every tier — the
+  // truthful "queries further back hit a gap" horizon. Empty when the
+  // series holds no data (or the store is disabled).
+  std::optional<std::int64_t> retention_horizon(std::uint32_t series) const;
 
   // Time-range query; `resolution_ns <= 0` requests the finest data. See
   // the header comment for tier selection and stitching semantics.
@@ -216,6 +242,7 @@ class TieredStore {
   std::deque<std::pair<std::int32_t, std::uint64_t>> sealed_fifo_[kMaxTiers];
   TierStats tier_stats_[kMaxTiers];
   StoreStats stats_;
+  SealHook seal_hook_;
   std::uint64_t seal_counter_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t eviction_hash_ = 1469598103934665603ull;  // FNV-1a basis

@@ -88,6 +88,11 @@ void FaultInjector::validate(const FaultAction& action) const {
     host_target(f->host);
   } else if (const auto* f = std::get_if<HostRestart>(&action)) {
     host_target(f->host);
+  } else if (const auto* f = std::get_if<HostPartition>(&action)) {
+    host_target(f->host);
+    if (f->duration.nanos() <= 0) {
+      throw std::invalid_argument("FaultInjector: partition duration <= 0");
+    }
   } else if (const auto* f = std::get_if<PacketChaos>(&action)) {
     medium_target(f->medium);
     if (f->duration.nanos() <= 0) {
@@ -181,6 +186,25 @@ void FaultInjector::arm(const FaultPlan& plan) {
         ++stats_.faults_applied;
         ++stats_.host_transitions;
         record(d);
+      });
+
+    } else if (const auto* f = std::get_if<HostPartition>(&fault.action)) {
+      net::Host* host = &host_target(f->host);
+      sim_.schedule_at(when, [this, host, d = describe(fault.action)] {
+        for (const auto& nic : host->nics()) nic->set_up(false);
+        ++stats_.faults_applied;
+        ++stats_.partitions;
+        record(d);
+      });
+      sim_.schedule_at(when + f->duration, [this, host, name = f->host] {
+        // The host may have crashed during the window; healing the partition
+        // must not resurrect its interfaces. Host restart re-raises them.
+        if (!host->up()) {
+          record("partition on " + name + " healed (host down)");
+          return;
+        }
+        for (const auto& nic : host->nics()) nic->set_up(true);
+        record("partition on " + name + " healed");
       });
 
     } else if (const auto* f = std::get_if<PacketChaos>(&fault.action)) {

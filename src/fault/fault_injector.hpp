@@ -49,6 +49,7 @@ class FaultInjector {
     std::uint64_t faults_applied = 0;
     std::uint64_t link_transitions = 0;   // down or up edges (flaps count each)
     std::uint64_t host_transitions = 0;   // crashes + restarts
+    std::uint64_t partitions = 0;         // HostPartition windows opened
     std::uint64_t chaos_windows = 0;      // PacketChaos windows opened
     std::uint64_t clock_steps = 0;
     std::uint64_t sensor_mode_changes = 0;

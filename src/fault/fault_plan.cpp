@@ -25,6 +25,9 @@ struct Describer {
   std::string operator()(const HostRestart& f) const {
     return "host " + f.host + " restart";
   }
+  std::string operator()(const HostPartition& f) const {
+    return "partition " + f.host + " for " + f.duration.to_string();
+  }
   std::string operator()(const PacketChaos& f) const {
     std::ostringstream os;
     os << "packet chaos on " << f.medium << " for "

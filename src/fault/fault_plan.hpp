@@ -55,6 +55,18 @@ struct PacketChaos {
   sim::Duration extra_delay{};
 };
 
+// Network partition: bidirectional link isolation of a host for a window.
+// Every interface of the host is forced down at the scheduled time and back
+// up `duration` later — no frames in or out — while the host itself keeps
+// running (timers fire, state is retained). This is the "unreachable, not
+// dead" failure mode that crash faults cannot express: a partitioned
+// federation child keeps sealing pages into its spool and must catch up
+// when the window heals (DESIGN.md §14).
+struct HostPartition {
+  std::string host;
+  sim::Duration duration;
+};
+
 // Step a host's real-time clock by `delta` (positive or negative) —
 // exercises timestamp-sensitive consumers like senescence and one-way
 // latency.
@@ -71,8 +83,8 @@ struct SensorMode {
 };
 
 using FaultAction = std::variant<LinkDown, LinkUp, LinkFlap, HostCrash,
-                                 HostRestart, PacketChaos, ClockStep,
-                                 SensorMode>;
+                                 HostRestart, HostPartition, PacketChaos,
+                                 ClockStep, SensorMode>;
 
 // One-line human-readable description, used for the injector's fault log.
 std::string describe(const FaultAction& action);
@@ -107,6 +119,10 @@ struct FaultPlan {
   }
   FaultPlan& host_restart(sim::Duration at, std::string host) {
     return add(at, HostRestart{std::move(host)});
+  }
+  FaultPlan& partition(sim::Duration at, std::string host,
+                       sim::Duration duration) {
+    return add(at, HostPartition{std::move(host), duration});
   }
   FaultPlan& packet_chaos(sim::Duration at, std::string medium,
                           sim::Duration duration, double drop_probability,

@@ -1,0 +1,45 @@
+#pragma once
+
+// Deterministic replication event log (DESIGN.md §14). Child and parent
+// append one line per protocol event — session open/resume, page sent /
+// merged / shed, gap reported / applied, duplicate skipped — each stamped
+// with the simulation clock. Because the simulator is deterministic, two
+// same-seed runs must produce byte-identical export_text(); the federation
+// tests diff exactly that.
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace netmon::fed {
+
+class ReplicationLog {
+ public:
+  struct Entry {
+    sim::TimePoint at;
+    std::string line;
+  };
+
+  void append(sim::TimePoint at, std::string line) {
+    entries_.push_back(Entry{at, std::move(line)});
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+  std::string export_text() const {
+    std::ostringstream os;
+    for (const Entry& e : entries_) {
+      os << "t=" << e.at.nanos() << " " << e.line << "\n";
+    }
+    return os.str();
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace netmon::fed

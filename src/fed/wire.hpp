@@ -1,0 +1,149 @@
+#pragma once
+
+// Federation wire protocol (DESIGN.md §14): the framing and message codec a
+// zone monitor (child) uses to stream sealed tiered-store pages and
+// current-value deltas to its parent manager over the simulated TCP stack.
+//
+// Framing: every message travels as
+//   magic 0xF5 0xED | type u8 | payload_len u32 LE | payload | crc32 u32 LE
+// where the CRC (IEEE 802.3 polynomial) covers type, length, and payload.
+// TCP already guarantees ordered lossless delivery; the CRC defends against
+// the remaining failure modes — a buggy peer, a truncated spool replay, or
+// corruption injected by the fault layer below the reliability line — by
+// turning damage into a clean WireError instead of a misparse.
+//
+// Page payloads are delta-encoded: each TierPoint's first_ns is a zigzag
+// varint offset from the previous point's last_ns (absolute for the first),
+// last_ns an offset from its own first_ns, so a steady sampling cadence
+// costs two or three bytes of timestamps per point instead of sixteen.
+// Values stay raw IEEE doubles — aggregates do not compress predictably and
+// bit-exactness matters more than the four bytes a float cast would save.
+//
+// The decoder never trusts a byte: every read is bounds-checked, varints
+// are length-capped, declared lengths are sanity-capped (1 MiB), and any
+// violation — bad magic, CRC mismatch, short payload, trailing garbage,
+// counts that disagree — throws WireError. Truncated input is simply
+// incomplete: FrameParser::next() returns nullopt until more bytes arrive.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/tiered_store.hpp"
+
+namespace netmon::fed {
+
+struct WireError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// One endpoint of a declared path, enough for the parent to reconstruct the
+// child's core::Path in its own database.
+struct WireEndpoint {
+  std::string process;
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+};
+
+// Child -> parent, first message of every session. `incarnation` increments
+// across child restarts so the parent can tell a resumed stream from a
+// reborn one (both replay from the acked watermarks either way).
+struct HelloMsg {
+  std::string zone;
+  std::uint64_t incarnation = 0;
+  std::uint16_t version = 1;
+};
+
+struct SeriesWatermark {
+  std::uint32_t series = 0;
+  std::uint64_t page_seq = 0;  // highest contiguously merged page
+};
+
+// Parent -> child: session accepted; here is everything I have durably
+// merged from your zone. The child prunes its spool to these watermarks and
+// replays only what lies above them.
+struct HelloAckMsg {
+  std::uint64_t incarnation = 0;
+  std::vector<SeriesWatermark> watermarks;
+};
+
+// Child -> parent, once per series per session before its first page or
+// delta: binds the child's dense series index to a (path, metric) identity.
+struct SeriesDeclMsg {
+  std::uint32_t series = 0;
+  std::uint8_t metric = 0;
+  std::vector<WireEndpoint> endpoints;
+};
+
+// One sealed page. `page_seq` numbers sealed pages per series from 1,
+// consecutively — the replication protocol's unit of acknowledgment.
+struct PageMsg {
+  std::uint32_t series = 0;
+  std::uint64_t page_seq = 0;
+  std::uint8_t tier = 0;
+  std::vector<core::TierPoint> points;
+};
+
+// One current-value sample, for parent-side freshness between page seals.
+struct DeltaMsg {
+  std::uint32_t series = 0;
+  std::int64_t at_ns = 0;
+  double value = 0.0;
+  bool valid = false;
+};
+
+// Parent -> child: pages of `series` up to and including `page_seq` are
+// merged; the child may drop them from its spool.
+struct AckMsg {
+  std::uint32_t series = 0;
+  std::uint64_t page_seq = 0;
+};
+
+// Child -> parent: pages [from_seq, to_seq] of `series` were shed under
+// spool pressure and will never arrive; `points` is the honest point count
+// lost. The parent advances its watermark past the hole and accounts the
+// loss instead of waiting forever.
+struct GapMsg {
+  std::uint32_t series = 0;
+  std::uint64_t from_seq = 0;
+  std::uint64_t to_seq = 0;
+  std::uint64_t points = 0;
+};
+
+// Child -> parent liveness beacon (child-clock timestamp), so a quiet zone
+// with no sealing activity still reads as alive.
+struct HeartbeatMsg {
+  std::int64_t at_ns = 0;
+};
+
+using Message = std::variant<HelloMsg, HelloAckMsg, SeriesDeclMsg, PageMsg,
+                             DeltaMsg, AckMsg, GapMsg, HeartbeatMsg>;
+
+// Serializes one message into a complete frame.
+std::vector<std::byte> encode(const Message& message);
+
+// IEEE CRC-32 (reflected, 0xEDB88320), exposed for tests.
+std::uint32_t crc32(const std::byte* data, std::size_t n);
+
+// Incremental frame decoder for a TCP byte stream: feed() arbitrary chunks,
+// then drain next() until it returns nullopt (incomplete tail retained for
+// the next feed). Malformed input throws WireError; the caller is expected
+// to treat that as fatal for the connection and reset() before reuse.
+class FrameParser {
+ public:
+  void feed(std::span<const std::byte> data);
+  std::optional<Message> next();
+  void reset();
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::byte> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace netmon::fed

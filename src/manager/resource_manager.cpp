@@ -20,6 +20,39 @@ ResourceManager::ResourceManager(core::SensorDirector& director, Config config)
         "ResourceManager: trend quantile must be in (0.5, 1) and "
         "min_samples >= 1");
   }
+  if (config_.senescence_bound.nanos() > 0 &&
+      config_.senescence_check_period.nanos() <= 0) {
+    throw std::invalid_argument(
+        "ResourceManager: senescence_check_period must be > 0 when the "
+        "bound is enabled");
+  }
+}
+
+ResourceManager::~ResourceManager() { senescence_timer_.cancel(); }
+
+void ResourceManager::senescence_scan() {
+  const sim::TimePoint now = director_.simulator().now();
+  const core::MeasurementDatabase& db = director_.database();
+  for (auto& [name, state] : apps_) {
+    bool struck = false;
+    for (net::IpAddr client : state.app.client_pool) {
+      const core::Path path(
+          core::ProcessEndpoint{state.app.name + "-server", state.active,
+                                state.app.port},
+          core::ProcessEndpoint{state.app.name + "-client", client,
+                                state.app.port});
+      for (core::Metric metric : config_.metrics) {
+        const auto age = db.senescence(path, metric, now);
+        if (age && *age > config_.senescence_bound) {
+          ++state.strikes[{state.active, client}];
+          ++senescence_strikes_;
+          struck = true;
+          break;  // one strike per path per sweep, oldest metric wins
+        }
+      }
+    }
+    if (struck) maybe_reconfigure(state);
+  }
 }
 
 void ResourceManager::remove_reconfiguration_listener(ListenerHandle handle) {
@@ -81,6 +114,10 @@ void ResourceManager::manage(ManagedApplication app,
       [this, name](const core::PathMetricTuple& tuple) {
         on_tuple(name, tuple);
       });
+  if (config_.senescence_bound.nanos() > 0 && !senescence_timer_.pending()) {
+    senescence_timer_ = director_.simulator().schedule_periodic(
+        config_.senescence_check_period, [this] { senescence_scan(); });
+  }
 }
 
 void ResourceManager::stop(const std::string& application) {

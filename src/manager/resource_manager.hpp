@@ -79,6 +79,16 @@ class ResourceManager {
       double quantile = 0.99;
     };
     TrendConfig trend;
+
+    // Senescence watchdog (DESIGN.md §14): with a positive bound, the
+    // manager periodically sweeps the active server's client paths and
+    // strikes any whose newest database sample — however it arrived,
+    // locally sensed or federated from a zone monitor — is older than the
+    // bound. A silent zone therefore degrades into failover pressure
+    // instead of being trusted forever. Zero (the default) disables the
+    // sweep entirely: no timer is scheduled, event order is unchanged.
+    sim::Duration senescence_bound = sim::Duration::sec(0);
+    sim::Duration senescence_check_period = sim::Duration::sec(1);
   };
 
   using ReconfigCallback = std::function<void(const ReconfigurationEvent&)>;
@@ -89,6 +99,7 @@ class ResourceManager {
                          const core::PathMetricTuple& tuple)>;
 
   ResourceManager(core::SensorDirector& director, Config config);
+  ~ResourceManager();
 
   // Starts monitoring the full server×client path matrix and managing the
   // active server. `initial_server` must be in the pool. Throws
@@ -145,6 +156,8 @@ class ResourceManager {
   // Tuples whose trend verdict disagreed with (and overrode) the
   // last-sample verdict — both directions count.
   std::uint64_t trend_overrides() const { return trend_overrides_; }
+  // Strikes issued by the senescence watchdog sweep.
+  std::uint64_t senescence_strikes() const { return senescence_strikes_; }
 
   // Weighted tail quantile over a tiered range query: points are weighed by
   // their valid sample count and represented by their max (`upper` true, the
@@ -173,6 +186,7 @@ class ResourceManager {
   bool trend_verdict(const Requirements& req,
                      const core::PathMetricTuple& tuple, bool last_sample_bad);
   void maybe_reconfigure(AppState& state);
+  void senescence_scan();
   std::optional<net::IpAddr> pick_replacement(const AppState& state) const;
   core::MonitorRequest build_request(const ManagedApplication& app) const;
 
@@ -188,6 +202,8 @@ class ResourceManager {
   std::uint64_t degraded_tuples_ = 0;
   std::uint64_t stale_tuples_ = 0;
   std::uint64_t trend_overrides_ = 0;
+  std::uint64_t senescence_strikes_ = 0;
+  sim::EventHandle senescence_timer_;
 };
 
 }  // namespace netmon::mgr

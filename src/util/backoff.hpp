@@ -1,0 +1,51 @@
+#pragma once
+
+// Deterministic jittered exponential backoff, shared by every layer that
+// retries (DESIGN.md §9 supervision retries, §14 federation reconnect).
+// The delay doubles per attempt from `base` up to `cap`, then a jitter in
+// [0, 25%) of the delay is added, derived by hashing a caller-supplied key
+// (typically the retrying entity's identity mixed with the attempt number).
+// Two runs of the same scenario therefore back off identically, while
+// entities sharing a failure do not retry in lockstep.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace netmon::util {
+
+// splitmix64-style finalizer: decorrelates structured keys (ids, attempt
+// counters packed into bit fields) into uniform jitter.
+inline std::uint64_t mix64(std::uint64_t h) {
+  h *= 0x9E3779B97F4A7C15ull;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return h;
+}
+
+// Delay before retry number `attempt` (1-based: the first retry uses `base`).
+// `key` seeds the jitter and should already encode the attempt if successive
+// retries of one entity must jitter independently.
+inline sim::Duration jittered_backoff(sim::Duration base, sim::Duration max,
+                                      int attempt, std::uint64_t key) {
+  std::int64_t ns = base.nanos();
+  const std::int64_t cap = std::max<std::int64_t>(ns, max.nanos());
+  for (int i = 1; i < attempt && ns < cap; ++i) ns *= 2;
+  if (ns > cap) ns = cap;
+  const std::uint64_t h = mix64(key);
+  return sim::Duration::ns(ns + static_cast<std::int64_t>(h % 1024) * ns / 4096);
+}
+
+// Bound policy: the (base, cap) pair components carry in their configs.
+struct BackoffPolicy {
+  sim::Duration base = sim::Duration::ms(100);
+  sim::Duration max = sim::Duration::sec(5);
+
+  sim::Duration delay(int attempt, std::uint64_t key) const {
+    return jittered_backoff(base, max, attempt, key);
+  }
+};
+
+}  // namespace netmon::util

@@ -252,6 +252,79 @@ TEST(FaultInjector, HostCrashAndRestart) {
   EXPECT_EQ(injector.stats().host_transitions, 2u);
 }
 
+TEST(FaultInjector, PartitionIsolatesHostWithoutKillingIt) {
+  sim::Simulator sim;
+  apps::TestbedOptions options;
+  options.servers = 1;
+  options.clients = 1;
+  apps::Testbed bed(sim, options);
+
+  FaultInjector injector(sim);
+  injector.register_host("server0", bed.server(0));
+  FaultPlan plan;
+  plan.partition(Duration::sec(1), "server0", Duration::sec(2));
+  injector.arm(plan);
+
+  sim.run_until(TimePoint::from_nanos(Duration::sec(2).nanos()));
+  // Unreachable, not dead: the host is up but every interface is down.
+  EXPECT_TRUE(bed.server(0).up());
+  for (const auto& nic : bed.server(0).nics()) EXPECT_FALSE(nic->up());
+
+  sim.run_until(TimePoint::from_nanos(Duration::sec(4).nanos()));
+  for (const auto& nic : bed.server(0).nics()) EXPECT_TRUE(nic->up());
+  EXPECT_EQ(injector.stats().partitions, 1u);
+  EXPECT_EQ(injector.stats().faults_applied, 1u);
+}
+
+TEST(FaultInjector, PartitionValidation) {
+  sim::Simulator sim;
+  apps::TestbedOptions options;
+  options.servers = 1;
+  options.clients = 1;
+  apps::Testbed bed(sim, options);
+  FaultInjector injector(sim);
+  injector.register_host("server0", bed.server(0));
+
+  {  // unknown host
+    FaultPlan plan;
+    plan.partition(Duration::sec(1), "no-such-host", Duration::sec(1));
+    EXPECT_THROW(injector.arm(plan), std::invalid_argument);
+  }
+  {  // non-positive window
+    FaultPlan plan;
+    plan.partition(Duration::sec(1), "server0", Duration::sec(0));
+    EXPECT_THROW(injector.arm(plan), std::invalid_argument);
+  }
+  sim.run();
+  EXPECT_TRUE(injector.log().empty());
+}
+
+TEST(FaultInjector, PartitionHealYieldsToCrash) {
+  sim::Simulator sim;
+  apps::TestbedOptions options;
+  options.servers = 1;
+  options.clients = 1;
+  apps::Testbed bed(sim, options);
+
+  FaultInjector injector(sim);
+  injector.register_host("server0", bed.server(0));
+  // The host crashes inside the partition window: the heal must not raise
+  // the interfaces of a dead host — only the restart may.
+  FaultPlan plan;
+  plan.partition(Duration::sec(1), "server0", Duration::sec(2));
+  plan.host_crash(Duration::sec(2), "server0");
+  plan.host_restart(Duration::sec(5), "server0");
+  injector.arm(plan);
+
+  sim.run_until(TimePoint::from_nanos(Duration::sec(4).nanos()));
+  EXPECT_FALSE(bed.server(0).up());
+  for (const auto& nic : bed.server(0).nics()) EXPECT_FALSE(nic->up());
+
+  sim.run_until(TimePoint::from_nanos(Duration::sec(6).nanos()));
+  EXPECT_TRUE(bed.server(0).up());
+  for (const auto& nic : bed.server(0).nics()) EXPECT_TRUE(nic->up());
+}
+
 // --- chaos sensor ------------------------------------------------------------
 
 TEST(ChaosSensor, ModesInjectTheirPathologies) {

@@ -197,6 +197,58 @@ TEST_F(ManagerFixture, ThroughputRequirementTriggersStrikes) {
   EXPECT_GE(manager.reconfigurations(), 1u);
 }
 
+TEST_F(ManagerFixture, SenescenceWatchdogIsOffByDefault) {
+  // One measurement round, then silence: every path goes senescent, but with
+  // the default zero bound no timer runs and nothing ever strikes.
+  ResourceManager::Config cfg = fast_config();
+  cfg.mode = core::MonitorRequest::Mode::kOnce;
+  ResourceManager manager(monitor->director(), cfg);
+  manager.manage(rtds_app(), bed->server_ip(0));
+  sim.run_for(Duration::sec(20));
+  EXPECT_GT(manager.tuples_consumed(), 0u);
+  EXPECT_EQ(manager.senescence_strikes(), 0u);
+  EXPECT_EQ(manager.reconfigurations(), 0u);
+}
+
+TEST_F(ManagerFixture, SenescenceWatchdogStrikesSilentPathsIntoFailover) {
+  // Same silence, but with a bound armed: stale data — however it got into
+  // the database, locally sensed or replicated from a dead zone monitor —
+  // degrades into failover pressure instead of being trusted forever.
+  ResourceManager::Config cfg = fast_config();
+  cfg.mode = core::MonitorRequest::Mode::kOnce;
+  cfg.senescence_bound = Duration::sec(2);
+  cfg.senescence_check_period = Duration::ms(500);
+  ResourceManager manager(monitor->director(), cfg);
+  manager.manage(rtds_app(), bed->server_ip(0));
+  sim.run_for(Duration::sec(20));
+  EXPECT_GT(manager.senescence_strikes(), 0u);
+  // Every pool member is equally senescent here, so the manager keeps
+  // rotating: at least the first failover left server 0.
+  EXPECT_GE(manager.reconfigurations(), 1u);
+}
+
+TEST_F(ManagerFixture, SenescenceWatchdogQuietWhileSamplesFlow) {
+  // Continuous sampling keeps every path younger than the bound: an armed
+  // watchdog must not strike a healthy matrix.
+  ResourceManager::Config cfg = fast_config();
+  cfg.senescence_bound = Duration::sec(30);
+  cfg.senescence_check_period = Duration::sec(1);
+  ResourceManager manager(monitor->director(), cfg);
+  manager.manage(rtds_app(), bed->server_ip(0));
+  sim.run_for(Duration::sec(20));
+  EXPECT_GT(manager.tuples_consumed(), 12u);
+  EXPECT_EQ(manager.senescence_strikes(), 0u);
+  EXPECT_EQ(manager.reconfigurations(), 0u);
+}
+
+TEST_F(ManagerFixture, SenescenceBoundRequiresPositiveCheckPeriod) {
+  ResourceManager::Config cfg = fast_config();
+  cfg.senescence_bound = Duration::sec(2);
+  cfg.senescence_check_period = Duration::sec(0);
+  EXPECT_THROW(ResourceManager(monitor->director(), cfg),
+               std::invalid_argument);
+}
+
 TEST_F(ManagerFixture, RemovedListenerNeverFiresEvenAfterCapturesDie) {
   // Regression for the handle-based listener API: a listener whose captured
   // state is shorter-lived than the manager must be able to unregister and

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/measurement_db.hpp"
 #include "obs/metrics.hpp"
 #include "obs/quantile.hpp"
 #include "obs/self_mib.hpp"
@@ -383,6 +384,84 @@ TEST(SelfMib, PublishesRegistryAndRefreshes) {
     EXPECT_GT(mib.size(), before);
   }
   EXPECT_EQ(mib.size(), before);  // destructor removed its subtree
+}
+
+// ---------------------------------------------------------------------------
+// Per-series retention horizons (DESIGN.md §14 / ROADMAP follow-on): the
+// tiered store's oldest retained timestamp per series, surfaced as registry
+// gauges and thus walkable through the SelfMib like any other self-metric.
+
+TEST(RetentionHorizons, PublishedPerSeriesAndVisibleInSelfMib) {
+  if (!kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  core::TieredStorageConfig storage;
+  storage.page_points = 8;
+  storage.rollup_factor = 4;
+  storage.tiers = 2;
+  core::MeasurementDatabase db(16, storage);
+  const core::Path path(
+      core::ProcessEndpoint{"s", net::IpAddr(10, 9, 0, 1), 1},
+      core::ProcessEndpoint{"c", net::IpAddr(10, 9, 0, 2), 1});
+  for (int i = 0; i < 20; ++i) {
+    db.record(path, core::Metric::kThroughput,
+              core::MetricValue::of(i, sim::TimePoint::from_nanos(
+                                           i * 1'000'000'000ll)));
+  }
+
+  Registry reg;
+  db.publish_retention_horizons(reg, "db.retention");
+  const std::string name = "db.retention." + path.to_string() + "." +
+                           core::to_string(core::Metric::kThroughput) +
+                           ".retention_horizon_ns";
+  ASSERT_TRUE(reg.contains(name));
+
+  // The gauge reads the store's live horizon.
+  const core::PathId id = db.find(path);
+  ASSERT_NE(id, core::kInvalidPathId);
+  const auto horizon = db.tiered().retention_horizon(static_cast<std::uint32_t>(
+      db.series_slot(id, core::Metric::kThroughput)));
+  ASSERT_TRUE(horizon.has_value());
+  double published = -2.0;
+  for (const auto& entry : reg.snapshot()) {
+    if (entry.name == name) published = entry.value;
+  }
+  EXPECT_DOUBLE_EQ(published, static_cast<double>(*horizon));
+
+  // Walkable via the SelfMib like every other registry metric.
+  snmp::MibTree mib;
+  SelfMib self(mib, reg);
+  bool seen = false;
+  for (const auto& bind : mib.walk(self.base())) {
+    if (bind.value == snmp::SnmpValue(name)) seen = true;
+  }
+  EXPECT_TRUE(seen);
+
+  // Never-sampled metrics of the same path get no gauge; a series with no
+  // tiered data reports -1 instead of a stale number.
+  const std::string latency_name =
+      "db.retention." + path.to_string() + "." +
+      core::to_string(core::Metric::kOneWayLatency) + ".retention_horizon_ns";
+  EXPECT_FALSE(reg.contains(latency_name));
+}
+
+TEST(RetentionHorizons, DisabledTiersReadMinusOne) {
+  if (!kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  core::TieredStorageConfig storage;
+  storage.enabled = false;
+  core::MeasurementDatabase db(16, storage);
+  const core::Path path(
+      core::ProcessEndpoint{"s", net::IpAddr(10, 9, 1, 1), 1},
+      core::ProcessEndpoint{"c", net::IpAddr(10, 9, 1, 2), 1});
+  db.record(path, core::Metric::kReachability,
+            core::MetricValue::of(1.0, sim::TimePoint::from_nanos(1)));
+  Registry reg;
+  db.publish_retention_horizons(reg, "db.retention");
+  const std::string name = "db.retention." + path.to_string() + "." +
+                           core::to_string(core::Metric::kReachability) +
+                           ".retention_horizon_ns";
+  ASSERT_TRUE(reg.contains(name));
+  for (const auto& entry : reg.snapshot()) {
+    if (entry.name == name) EXPECT_DOUBLE_EQ(entry.value, -1.0);
+  }
 }
 
 TEST(SelfMib, WalkIsOrderedAndTerminates) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/backoff.hpp"
 #include "util/ring_buffer.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -192,6 +193,42 @@ TEST(Rng, UniformIntInRange) {
     EXPECT_GE(v, 3);
     EXPECT_LE(v, 7);
   }
+}
+
+// Shared by sensor supervision retries and federation reconnects: the exact
+// delay sequence is pinned so a refactor cannot silently change every retry
+// schedule in the simulator (determinism tests downstream depend on it).
+TEST(Backoff, PinnedJitteredSequence) {
+  const sim::Duration base = sim::Duration::ms(100);
+  const sim::Duration cap = sim::Duration::sec(5);
+  const std::int64_t expected[] = {
+      105175781,   247412109,  411914062,  948242187,
+      1833593750, 3282812500, 5554199218, 6033935546};
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const auto d = jittered_backoff(base, cap, attempt,
+                                    0xFEEDu ^ static_cast<std::uint64_t>(attempt));
+    EXPECT_EQ(d.nanos(), expected[attempt - 1]) << "attempt " << attempt;
+  }
+}
+
+TEST(Backoff, DoublesToCapAndJitterStaysBounded) {
+  const sim::Duration base = sim::Duration::ms(100);
+  const sim::Duration cap = sim::Duration::sec(5);
+  for (int attempt = 1; attempt <= 20; ++attempt) {
+    for (std::uint64_t key = 0; key < 50; ++key) {
+      const std::int64_t undithered =
+          std::min(cap.nanos(), base.nanos() << std::min(attempt - 1, 10));
+      const auto d = jittered_backoff(base, cap, attempt, key);
+      EXPECT_GE(d.nanos(), undithered);
+      // Jitter adds strictly less than 25% of the undithered delay.
+      EXPECT_LT(d.nanos(), undithered + undithered / 4);
+    }
+  }
+  // Same (attempt, key) is reproducible; different keys de-synchronize.
+  EXPECT_EQ(jittered_backoff(base, cap, 3, 7).nanos(),
+            jittered_backoff(base, cap, 3, 7).nanos());
+  EXPECT_NE(jittered_backoff(base, cap, 3, 7).nanos(),
+            jittered_backoff(base, cap, 3, 8).nanos());
 }
 
 TEST(TextTable, RendersAlignedColumns) {

@@ -130,6 +130,44 @@ void BM_LaneSchedulerAdmissionCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_LaneSchedulerAdmissionCycle)->Arg(1)->Arg(4);
 
+// The pathological shape the 10k-path soak exposed (DESIGN.md §11/§15): a
+// deep queue whose head is blocked on a handful of shared links, so every
+// release used to rescan the whole deferred prefix (O(deferred × footprint)
+// per admission, quadratic over the drain). Arg is the task count; all
+// footprints draw from 6 links, so at most 3 disjoint probes run at once
+// and the queue stays deep for the entire drain. The indexed admission gate
+// (link→waiter index + budget watermark) makes each release wake only the
+// entries whose blocking link actually freed.
+void BM_LaneSchedulerContendedDrain(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::SchedulerConfig cfg;
+    cfg.lanes = 4;
+    cfg.link_disjoint = true;
+    core::LaneScheduler sched(cfg);
+    std::deque<core::LaneScheduler::Done> running;
+    for (int i = 0; i < tasks; ++i) {
+      core::ProbeProfile profile;
+      profile.priority = static_cast<core::ProbeClass>(i % 3);
+      profile.footprint = {static_cast<core::LinkKey>(i % 3),
+                           static_cast<core::LinkKey>(3 + (i / 3) % 3)};
+      sched.enqueue(
+          [&running](core::LaneScheduler::Done done) {
+            running.push_back(std::move(done));
+          },
+          profile);
+    }
+    while (!running.empty()) {
+      auto done = std::move(running.front());
+      running.pop_front();
+      done();
+    }
+    benchmark::DoNotOptimize(sched.completed());
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_LaneSchedulerContendedDrain)->Arg(1024)->Arg(8192);
+
 snmp::Message sample_message() {
   snmp::Message msg;
   msg.community = "public";

@@ -6,7 +6,7 @@
 // The paper offers two extremes: probe every path in parallel (peak overhead
 // C·S·L/P, ≈59 Mbit/s on the HiPer-D matrix) or strictly serialize through
 // a single slot (peak L/P ≈ 2.18 Mbit/s, senescence C·S·T). Neither serves
-// a 10k-path fabric. The lane scheduler admits up to K concurrent probes
+// a 100k-path fabric. The lane scheduler admits up to K concurrent probes
 // ("lanes") subject to two admission gates:
 //
 //   budget   — the sum of the declared offered loads of in-flight probes
@@ -25,14 +25,33 @@
 // FIFO and reproduces the paper's golden trace bit for bit. Senescence
 // generalizes from C·S·T to ⌈C·S/K⌉·T (DESIGN.md §11).
 //
+// Admission is indexed, not scanned (DESIGN.md §15). Earlier versions
+// re-tested every deferred entry against the gates on every enqueue and
+// every release — O(deferred × footprint) per admission, 32.6M futile gate
+// scans over one hostile 10k-path soak. Now a waiting entry is gate-tested
+// only when it heads its class's ready order; a failing test *parks* it on
+// the first gate that blocked it (a per-class waiter heap under the busy
+// LinkKey, or a budget wait-heap ordered by required headroom). A release
+// wakes, per freed link, only the LOWEST-seq waiter of each class — the
+// only parked entry that can possibly become that class's candidate — and
+// budget waiters only as the freed watermark fits them. If a woken entry
+// re-parks on a different gate while its link is still free, the wake is
+// handed down to the link's next waiter (baton passing), so a convoy of
+// 10k probes queued behind one trunk costs O(classes) wake-ups per
+// release, not O(waiters). Each gate test is O(footprint); parked entries
+// cost nothing until the state they wait on changes. The admission
+// *policy* — first currently-admissible entry per class in FIFO order,
+// ranked by aging/starvation — is unchanged, proven equivalent to a naive
+// full-scan reference by the differential model test
+// (tests/scheduler_model_test.cpp).
+//
 // Robustness contract (inherited from the original sequencer): a task's
 // Done may be invoked exactly once; extra invocations are counted no-ops, a
 // task that drops its Done uncalled releases the lane as "abandoned", and
-// Dones outliving the scheduler degrade to no-ops. Lane accounting is
-// self-checking (check_consistency()).
+// Dones outliving the scheduler degrade to no-ops. Lane accounting and the
+// occupancy/waiter index are self-checking (check_consistency()).
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -92,10 +111,36 @@ struct SchedulerConfig {
 
 struct SchedulerStats {
   std::uint64_t admitted = 0;            // == launched
-  std::uint64_t deferred_budget = 0;     // scan skips due to the budget gate
-  std::uint64_t deferred_disjoint = 0;   // scan skips due to shared links
+  // A gate test that failed and parked the entry on the budget watermark /
+  // a busy link's waiter list. Counted once per blocking transition, not
+  // once per scan pass — a parked entry costs nothing until woken.
+  std::uint64_t deferred_budget = 0;
+  std::uint64_t deferred_disjoint = 0;
   std::uint64_t starvation_picks = 0;    // admissions forced by the limit
   std::uint64_t priority_inversions = 0; // admitted over an older entry
+  // Incremental wake-up accounting (DESIGN.md §15): entries moved from a
+  // park structure back to ready order by a wake event (blocking link
+  // freed, budget watermark rose, or a reconfiguration re-opened a gate).
+  // This is the *entire* re-test cost of a release — the honest successor
+  // of the old deferred×release full-scan count, assertable from SelfMib.
+  std::uint64_t wake_tests = 0;
+  // Woken entries whose next gate test still failed (re-parked): wake-ups
+  // that did no useful work. A high futile share means many waiters block
+  // on more than one gate (e.g. everything queues behind one trunk).
+  std::uint64_t futile_wakeups = 0;
+
+  friend bool operator==(const SchedulerStats& a, const SchedulerStats& b) {
+    return a.admitted == b.admitted &&
+           a.deferred_budget == b.deferred_budget &&
+           a.deferred_disjoint == b.deferred_disjoint &&
+           a.starvation_picks == b.starvation_picks &&
+           a.priority_inversions == b.priority_inversions &&
+           a.wake_tests == b.wake_tests &&
+           a.futile_wakeups == b.futile_wakeups;
+  }
+  friend bool operator!=(const SchedulerStats& a, const SchedulerStats& b) {
+    return !(a == b);
+  }
 };
 
 // One admission, in admission order — the deterministic trace the property
@@ -108,6 +153,7 @@ struct AdmissionRecord {
   ProbeClass priority = ProbeClass::kNormal;
   double offered_bps = 0.0;
   std::uint32_t in_flight_after = 0;
+  std::uint32_t lane = 0;       // smallest lane id free at admission
 };
 
 class LaneScheduler {
@@ -135,7 +181,10 @@ class LaneScheduler {
   // Live load reading (e.g. obs::IntrusivenessMeter's last monitoring-class
   // sample). When set and the budget gate is active, a candidate is also
   // held back while `live() + offered > B` — unless the scheduler is idle,
-  // preserving the progress guarantee.
+  // preserving the progress guarantee. A live reading can drop without any
+  // scheduler event, so while a probe is installed every admission pass
+  // re-wakes the budget-parked set (the watermark cannot index an external
+  // signal); link-parked entries still wake incrementally.
   void set_load_probe(std::function<double()> live_bps);
 
   void enqueue(Task task) { enqueue(std::move(task), ProbeProfile{}); }
@@ -152,13 +201,21 @@ class LaneScheduler {
   bool idle() const { return in_flight_ == 0 && queued_ == 0; }
   // Declared load committed to in-flight probes (the budget gate's view).
   double committed_bps() const { return committed_bps_; }
-  // Links occupied by in-flight probes (multiset cardinality).
-  std::size_t busy_links() const { return busy_links_.size(); }
+  // Links occupied by in-flight probes.
+  std::size_t busy_links() const { return occupied_links_; }
+  // Waiting entries currently parked on a busy link / the budget watermark.
+  // queued() - parked_on_links() - parked_on_budget() entries are in ready
+  // order (not known-blocked; heads are gate-tested at admission time).
+  std::size_t parked_on_links() const { return parked_links_; }
+  std::size_t parked_on_budget() const { return parked_budget_; }
   const SchedulerStats& scheduler_stats() const { return sched_stats_; }
 
-  // Lane-accounting invariant: every launch is exactly one of completed,
-  // abandoned, or still in flight; plus the committed budget and busy-link
-  // multiset must drain to zero when nothing is in flight. Throws
+  // Lane-accounting and index invariants: every launch is exactly one of
+  // completed, abandoned, or still in flight; the committed budget and the
+  // link-occupancy index drain to zero when nothing is in flight; the
+  // occupancy counts equal the multiset union of in-flight footprints;
+  // every link-parked entry waits under a currently busy key, and every
+  // budget-parked entry genuinely exceeds the current headroom. Throws
   // std::logic_error on violation.
   void check_consistency() const;
 
@@ -175,11 +232,12 @@ class LaneScheduler {
   const std::vector<AdmissionRecord>& admissions() const { return trace_; }
   std::uint64_t admissions_recorded() const { return trace_emitted_; }
 
-  // Self-observability (DESIGN.md §10/§11). Registers "<prefix>." counters
-  // and gauges plus, when `now_ns` is provided, slot-wait and slot-hold
-  // histograms (the serialization stall a probe suffers between enqueue and
-  // launch is exactly the senescence the paper trades for bounded
-  // intrusiveness). A now_ns passed here also becomes the scheduler clock.
+  // Self-observability (DESIGN.md §10/§11/§15). Registers "<prefix>."
+  // counters and gauges plus, when `now_ns` is provided, slot-wait and
+  // slot-hold histograms (the serialization stall a probe suffers between
+  // enqueue and launch is exactly the senescence the paper trades for
+  // bounded intrusiveness). A now_ns passed here also becomes the scheduler
+  // clock.
   void attach_observability(obs::Registry& registry,
                             std::string prefix = "sequencer",
                             std::function<std::int64_t()> now_ns = {});
@@ -187,25 +245,118 @@ class LaneScheduler {
 
  private:
   struct DoneState;
-  struct Entry {
+  struct LinkState;
+
+  // One waiting or in-flight request. Nodes are pool-allocated with stable
+  // addresses (intrusive list members) and recycled through a free list;
+  // enqueue adopts the caller's footprint buffer (ProbeProfile is taken by
+  // value) rather than copying it, so a warmed-up scheduler enqueues
+  // without touching the allocator.
+  struct Node {
     Task fn;
-    ProbeProfile profile;
-    std::int64_t enqueued_ns = 0;
+    std::vector<LinkKey> footprint;
+    // Occupancy entries for `footprint`, cached at admission so release
+    // decrements the counts without re-hashing the keys. LinkState
+    // addresses are stable (node-based map, entries never erased while a
+    // probe occupies them).
+    std::vector<LinkState*> link_states;
+    double offered_bps = 0.0;
+    std::uint64_t tag = 0;
     std::uint64_t seq = 0;
+    std::int64_t enqueued_ns = 0;
+    std::int64_t launched_ns = 0;
+    LinkKey park_key = 0;       // blocking link while kParkedLink
+    // While kReady after a link wake: the link whose wake this node carries.
+    // If the node re-parks on a different gate while that link is still
+    // free, the wake passes to the link's next waiter (baton passing).
+    LinkKey woken_from = 0;
+    LinkState* woken_from_ls = nullptr;
+    // Refs in ready_ heaps that revalidate for this node's current
+    // (seq, cls): while > 0 a wake can flip state to kReady without
+    // pushing a duplicate ref (a park leaves its ref buried; re-waking
+    // makes it live again). Undercounting only costs a duplicate push.
+    std::uint32_t ready_refs = 0;
+    Node* all_prev = nullptr;   // per-class seq-ordered list of waiters
+    Node* all_next = nullptr;
+    std::uint32_t lane = 0;     // lane id while in flight
+    ProbeClass cls = ProbeClass::kNormal;
+    enum class State : std::uint8_t {
+      kFree,         // on the node free list
+      kReady,        // waiting, not known-blocked (in the ready heap)
+      kParkedLink,   // waiting in busy_links_[park_key]'s waiter heap
+      kParkedBudget, // waiting on the budget watermark heap
+      kInFlight,
+    } state = State::kFree;
+    bool woken = false;  // last transition was a wake (futile accounting)
+  };
+
+  // Lazy-deletion heap references: validity is re-checked against the node
+  // at pop time (seq/class/state/park key), so parking or admitting an
+  // entry never has to search a heap.
+  struct ReadyRef {
+    std::uint64_t seq = 0;
+    Node* node = nullptr;
+  };
+  struct BudgetRef {
+    double offered_bps = 0.0;
+    std::uint64_t seq = 0;
+    Node* node = nullptr;
+  };
+  struct LinkState {
+    std::uint32_t count = 0;  // in-flight probes occupying this link
+    // Entries parked on this link: per-class lazy min-heaps by seq, so a
+    // release can wake exactly the one waiter per class that could become
+    // that class's candidate. Zero-count entries persist (live waiters'
+    // wakes ride batons, see Node::woken_from; dead entries keep the map
+    // and their heap capacity warm — the index is bounded by the distinct
+    // links ever probed, and sweep_link_states() reclaims on configure).
+    std::vector<ReadyRef> waiters[kProbeClassCount];
+  };
+  struct ClassList {
+    Node* head = nullptr;
+    Node* tail = nullptr;
+  };
+  enum class Gate : std::uint8_t { kPass, kBudget, kLink };
+  struct GateResult {
+    Gate gate = Gate::kPass;
+    LinkKey link = 0;
+    LinkState* ls = nullptr;  // the blocking link's entry when gate == kLink
   };
 
   std::int64_t now() const { return now_ns_ ? now_ns_() : 0; }
-  bool gates_admit(const Entry& entry, bool idle_scheduler);
-  // Scans class queues for the best admissible candidate; returns false if
-  // nothing can be admitted right now.
-  bool pick(std::size_t& cls_out, std::size_t& pos_out);
-  void admit(std::size_t cls, std::size_t pos);
-  void finish(DoneState& state, bool abandoned);
+  double budget_ceiling() const;
+  Node* alloc_node();
+  void free_node(Node* n);
+  void all_push_back(Node* n);
+  void all_unlink(Node* n);
+  void all_insert_sorted(Node* n);
+  void ready_push(Node* n);
+  Node* ready_peek(std::size_t cls);
+  void ready_pop(std::size_t cls);
+  GateResult test_gates(const Node& n);
+  void park(Node* n, const GateResult& why);
+  void wake(Node* n, LinkKey from, LinkState* from_ls);
+  // Pops stale refs off one class's waiter heap; wakes the min-seq live
+  // waiter if `wake_one`.
+  void pop_and_wake(LinkKey key, LinkState& ls, std::size_t cls,
+                    bool wake_one);
+  // count hit 0: one wake per class
+  void wake_link_free(LinkKey key, LinkState& ls);
+  // baton handoff
+  void wake_next_on(LinkKey key, LinkState& ls, std::size_t cls);
+  void wake_budget_fits();
+  void rewake_all_parked();
+  void sweep_link_states();  // drop stale refs / empty zero-count entries
+  Node* pick();
+  void admit(Node* n);
+  void finish(Node* n, bool abandoned);
   void pump();
 
   SchedulerConfig config_;
   std::size_t in_flight_ = 0;
   std::size_t queued_ = 0;
+  std::size_t parked_links_ = 0;
+  std::size_t parked_budget_ = 0;
   std::uint64_t launched_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t double_dones_ = 0;
@@ -213,11 +364,23 @@ class LaneScheduler {
   std::uint64_t next_entry_seq_ = 0;
   double committed_bps_ = 0.0;
   bool pumping_ = false;  // flattens re-entrant pumps into the outer loop
-  // One FIFO per class: within a class an older entry never ranks below a
-  // younger one, so each class's best admissible candidate is the first
-  // admissible entry in queue order.
-  std::deque<Entry> queues_[kProbeClassCount];
-  std::unordered_map<LinkKey, std::uint32_t> busy_links_;
+
+  // Stable node storage: fixed-size chunks so a cold scheduler pays one
+  // allocation per kNodePoolChunk enqueues, not one per node.
+  static constexpr std::size_t kNodePoolChunk = 64;
+  std::vector<std::unique_ptr<Node[]>> pool_chunks_;
+  std::size_t pool_used_ = 0;  // slots used in the newest chunk
+  std::vector<Node*> free_nodes_;
+  ClassList all_[kProbeClassCount];  // every waiting entry, seq order
+  std::vector<ReadyRef> ready_[kProbeClassCount];  // min-heaps by seq
+  std::vector<BudgetRef> budget_wait_;  // min-heap by (offered, seq)
+  // Occupancy index: LinkKey -> in-flight count + parked waiter heaps.
+  std::unordered_map<LinkKey, LinkState> busy_links_;
+  std::size_t occupied_links_ = 0;  // entries with count > 0
+  // Lane id recycling: smallest freed id first, deterministic.
+  std::vector<std::uint32_t> free_lanes_;  // min-heap
+  std::uint32_t lane_high_ = 0;
+
   SchedulerStats sched_stats_;
   std::function<std::int64_t()> now_ns_;
   std::function<double()> live_bps_;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/lane_scheduler.hpp"
 #include "core/measurement_db.hpp"
 #include "obs/metrics.hpp"
 #include "obs/quantile.hpp"
@@ -397,6 +398,7 @@ TEST(RetentionHorizons, PublishedPerSeriesAndVisibleInSelfMib) {
   storage.page_points = 8;
   storage.rollup_factor = 4;
   storage.tiers = 2;
+  Registry reg;  // must outlive db: ~MeasurementDatabase detaches from it
   core::MeasurementDatabase db(16, storage);
   const core::Path path(
       core::ProcessEndpoint{"s", net::IpAddr(10, 9, 0, 1), 1},
@@ -407,7 +409,6 @@ TEST(RetentionHorizons, PublishedPerSeriesAndVisibleInSelfMib) {
                                            i * 1'000'000'000ll)));
   }
 
-  Registry reg;
   db.publish_retention_horizons(reg, "db.retention");
   const std::string name = "db.retention." + path.to_string() + "." +
                            core::to_string(core::Metric::kThroughput) +
@@ -447,13 +448,13 @@ TEST(RetentionHorizons, DisabledTiersReadMinusOne) {
   if (!kCompiledIn) GTEST_SKIP() << "observability compiled out";
   core::TieredStorageConfig storage;
   storage.enabled = false;
+  Registry reg;  // must outlive db: ~MeasurementDatabase detaches from it
   core::MeasurementDatabase db(16, storage);
   const core::Path path(
       core::ProcessEndpoint{"s", net::IpAddr(10, 9, 1, 1), 1},
       core::ProcessEndpoint{"c", net::IpAddr(10, 9, 1, 2), 1});
   db.record(path, core::Metric::kReachability,
             core::MetricValue::of(1.0, sim::TimePoint::from_nanos(1)));
-  Registry reg;
   db.publish_retention_horizons(reg, "db.retention");
   const std::string name = "db.retention." + path.to_string() + "." +
                            core::to_string(core::Metric::kReachability) +
@@ -462,6 +463,86 @@ TEST(RetentionHorizons, DisabledTiersReadMinusOne) {
   for (const auto& entry : reg.snapshot()) {
     if (entry.name == name) EXPECT_DOUBLE_EQ(entry.value, -1.0);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler wake-up telemetry (DESIGN.md §15): the incremental admission
+// gate publishes its entire re-test cost as wake_tests / futile_wakeups
+// gauges, so the old 32.6M-futile-scan class of regression is assertable
+// straight from telemetry — and walkable via the SelfMib like any gauge.
+
+TEST(SchedulerWakeupGauges, PublishedInRegistryAndSelfMib) {
+  if (!kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  core::SchedulerConfig cfg;
+  cfg.lanes = 3;
+  cfg.link_disjoint = true;
+  core::LaneScheduler sched(cfg);
+  Registry reg;
+  sched.attach_observability(reg, "seq");
+
+  // Holders on a trunk and a side link, two waiters queued on the trunk.
+  // Freeing the trunk wakes only its lowest-seq waiter (1 wake test); that
+  // waiter blocks on the side link — 1 futile wakeup — and its baton wakes
+  // the next trunk waiter (2nd wake test), which admits.
+  const core::LinkKey trunk = 42;
+  const core::LinkKey side = 7;
+  std::vector<core::LaneScheduler::Done> running;
+  auto submit = [&](std::vector<core::LinkKey> footprint) {
+    core::ProbeProfile p;
+    p.footprint = std::move(footprint);
+    sched.enqueue(
+        [&running](core::LaneScheduler::Done done) {
+          running.push_back(std::move(done));
+        },
+        p);
+  };
+  submit({trunk});        // holder A
+  submit({side});         // holder B
+  submit({trunk, side});  // W1: woken by the trunk, re-parks on side
+  submit({trunk});        // W2: admitted via W1's baton
+  ASSERT_EQ(running.size(), 2u);
+  EXPECT_EQ(sched.parked_on_links(), 2u);
+  auto done = std::move(running.front());  // holder A: frees the trunk
+  running.erase(running.begin());
+  done();
+
+  EXPECT_EQ(sched.scheduler_stats().wake_tests, 2u);
+  EXPECT_EQ(sched.scheduler_stats().futile_wakeups, 1u);
+
+  ASSERT_TRUE(reg.contains("seq.wake_tests"));
+  ASSERT_TRUE(reg.contains("seq.futile_wakeups"));
+  ASSERT_TRUE(reg.contains("seq.parked_links"));
+  ASSERT_TRUE(reg.contains("seq.parked_budget"));
+  double wake = -1.0, futile = -1.0, parked = -1.0;
+  for (const auto& entry : reg.snapshot()) {
+    if (entry.name == "seq.wake_tests") wake = entry.value;
+    if (entry.name == "seq.futile_wakeups") futile = entry.value;
+    if (entry.name == "seq.parked_links") parked = entry.value;
+  }
+  EXPECT_DOUBLE_EQ(wake, 2.0);
+  EXPECT_DOUBLE_EQ(futile, 1.0);
+  EXPECT_DOUBLE_EQ(parked, 1.0);
+
+  // Visible through the SelfMib gauge table by name, like any self-metric.
+  snmp::MibTree mib;
+  SelfMib self(mib, reg);
+  bool wake_row = false, futile_row = false;
+  for (const auto& bind : mib.walk(self.base())) {
+    if (bind.value == snmp::SnmpValue("seq.wake_tests")) wake_row = true;
+    if (bind.value == snmp::SnmpValue("seq.futile_wakeups")) futile_row = true;
+  }
+  EXPECT_TRUE(wake_row);
+  EXPECT_TRUE(futile_row);
+
+  while (!running.empty()) {
+    auto d = std::move(running.front());
+    running.erase(running.begin());
+    d();
+  }
+  EXPECT_TRUE(sched.idle());
+  sched.check_consistency();
+  sched.detach_observability();
+  EXPECT_FALSE(reg.contains("seq.wake_tests"));
 }
 
 TEST(SelfMib, WalkIsOrderedAndTerminates) {

@@ -1,0 +1,676 @@
+// Differential model test for the indexed admission gate (DESIGN.md §15):
+// random submit / complete / abandon streams — 2 × 50k ops, different
+// configs and seeds — run against both core::LaneScheduler (indexed
+// occupancy map, per-class waiter heaps with baton-passed wakes, budget
+// watermark heap) and a naive full-scan reference that re-gate-tests EVERY
+// waiting entry in seq order on every admission pass, exactly the
+// pre-index semantics. Same seed must yield the identical admission trace
+// (admit_seq, at_ns, entry_seq, tag, priority, offered_bps,
+// in_flight_after, lane) and identical SchedulerStats, in the spirit of
+// the timer/db model harnesses.
+//
+// The reference deliberately re-tests parked entries too: if the indexed
+// scheduler ever leaves an entry parked while its gates would actually
+// pass (a missed or dropped wake-up — the baton machinery's failure mode),
+// the reference admits it and the traces diverge. Wake/park *counters* are
+// transition-based in both (park once per blocking transition, wake once
+// per unpark, one wake per class per freed link plus baton handoffs), so
+// full SchedulerStats — including wake_tests and futile_wakeups — must
+// compare equal.
+//
+// A second fuzz harness drives random interleavings (including
+// reconfiguration, reprioritization, double-done abuse, and oversized
+// probes) and asserts the occupancy-index invariants through
+// check_consistency() after every operation, plus the progress guarantee:
+// a scheduler with queued work is never idle.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/lane_scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace netmon {
+namespace {
+
+using core::AdmissionRecord;
+using core::LaneScheduler;
+using core::LinkKey;
+using core::ProbeClass;
+using core::ProbeProfile;
+using core::SchedulerConfig;
+using core::SchedulerStats;
+
+constexpr std::int64_t kMs = 1'000'000;
+// Must match the scheduler's internal admission tolerance.
+constexpr double kBudgetSlack = 1e-6;
+
+// ---------------------------------------------------------------------------
+// Shared op stream: generated once per (seed, shape), replayed against both
+// systems. Target selection for complete/abandon is a raw draw resolved
+// against each system's own in-flight set — identical picks as long as the
+// systems agree, which is exactly what the test proves inductively.
+
+struct Op {
+  enum Kind { kSubmit, kComplete, kAbandon } kind = kSubmit;
+  ProbeProfile profile;       // kSubmit
+  std::uint64_t selector = 0; // kComplete / kAbandon
+  std::int64_t dt_ns = 0;     // clock advance before the op
+};
+
+struct StreamShape {
+  std::size_t ops = 50'000;
+  int link_keys = 48;          // footprint keys drawn from [1, link_keys]
+  int max_footprint = 3;
+  double max_offered = 60.0;
+  double oversized_share = 0.0;  // probes larger than the whole budget
+  double oversized_bps = 0.0;
+};
+
+std::vector<Op> make_ops(std::uint64_t seed, const StreamShape& shape) {
+  util::Rng rng(seed);
+  std::vector<Op> ops;
+  ops.reserve(shape.ops);
+  for (std::size_t i = 0; i < shape.ops; ++i) {
+    Op op;
+    op.dt_ns = rng.uniform_int(0, 3) * kMs;
+    const double roll = rng.uniform();
+    if (i < 32 || roll < 0.50) {
+      op.kind = Op::kSubmit;
+      op.profile.priority =
+          static_cast<ProbeClass>(rng.uniform_int(0, 5) % 3);  // normal-heavy
+      op.profile.tag = i;
+      if (shape.oversized_share > 0.0 &&
+          rng.uniform() < shape.oversized_share) {
+        op.profile.offered_bps = shape.oversized_bps;
+      } else if (rng.uniform() < 0.85) {
+        op.profile.offered_bps = rng.uniform(1.0, shape.max_offered);
+      }  // else: undeclared load, budget-exempt
+      const int fp = static_cast<int>(rng.uniform_int(0, shape.max_footprint));
+      for (int k = 0; k < fp; ++k) {
+        op.profile.footprint.push_back(
+            static_cast<LinkKey>(rng.uniform_int(1, shape.link_keys)));
+      }
+    } else {
+      op.kind = roll < 0.90 ? Op::kComplete : Op::kAbandon;
+      op.selector = rng.next();
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+// ---------------------------------------------------------------------------
+// System under test: the real (indexed) LaneScheduler.
+
+struct SutResult {
+  std::vector<AdmissionRecord> trace;
+  SchedulerStats stats;
+  std::uint64_t launched = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t abandoned = 0;
+};
+
+SutResult run_sut(const SchedulerConfig& cfg, const std::vector<Op>& ops) {
+  LaneScheduler sched(cfg);
+  std::int64_t now = 0;
+  sched.set_clock([&now] { return now; });
+  sched.record_admissions(ops.size() + 8);
+
+  // In-flight Dones keyed by submission index; std::map iteration order is
+  // submission order, mirrored by the reference.
+  std::map<std::uint64_t, LaneScheduler::Done> running;
+  auto launch = [&running](std::uint64_t id) {
+    return [&running, id](LaneScheduler::Done done) {
+      running.emplace(id, std::move(done));
+    };
+  };
+  auto settle = [&running, &sched](std::uint64_t selector, bool invoke) {
+    if (running.empty()) return;
+    auto it = running.begin();
+    std::advance(it, static_cast<long>(selector % running.size()));
+    auto done = std::move(it->second);
+    running.erase(it);
+    if (invoke) done();
+    // else: `done` destructs uncalled -> abandoned lane release
+    sched.check_consistency();
+  };
+
+  std::uint64_t id = 0;
+  for (const Op& op : ops) {
+    now += op.dt_ns;
+    switch (op.kind) {
+      case Op::kSubmit:
+        sched.enqueue(launch(id++), op.profile);
+        break;
+      case Op::kComplete:
+        settle(op.selector, true);
+        break;
+      case Op::kAbandon:
+        settle(op.selector, false);
+        break;
+    }
+  }
+  while (!running.empty()) {
+    now += kMs;
+    auto it = running.begin();
+    auto done = std::move(it->second);
+    running.erase(it);
+    done();
+  }
+  EXPECT_TRUE(sched.idle());
+  sched.check_consistency();
+
+  SutResult r;
+  r.trace = sched.admissions();
+  r.stats = sched.scheduler_stats();
+  r.launched = sched.launched();
+  r.completed = sched.completed();
+  r.abandoned = sched.abandoned();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Reference model: the pre-index full-scan semantics. Every admission pass
+// walks ALL waiting entries of a class in seq order and gate-tests each —
+// parked or not — taking the first pass. Park/wake state is tracked purely
+// to mirror the transition-counted stats; it never short-circuits a test,
+// so a stale park in the SUT shows up as a trace divergence here.
+
+class ScanScheduler {
+ public:
+  explicit ScanScheduler(SchedulerConfig cfg) : cfg_(cfg) {}
+
+  void set_now(std::int64_t now) { now_ = now; }
+
+  std::uint64_t submit(const ProbeProfile& profile) {
+    const std::uint64_t seq = next_seq_++;
+    Entry e;
+    e.seq = seq;
+    e.tag = profile.tag;
+    e.cls = profile.priority;
+    e.offered = profile.offered_bps;
+    e.fp = profile.footprint;
+    e.enqueued_ns = now_;
+    waiting_.push_back(std::move(e));
+    pump();
+    return seq;
+  }
+
+  bool settle(std::uint64_t selector, bool invoke) {
+    if (inflight_.empty()) return false;
+    auto it = inflight_.begin();
+    std::advance(it, static_cast<long>(selector % inflight_.size()));
+    finish(it, invoke);
+    return true;
+  }
+
+  bool drain_one() {
+    if (inflight_.empty()) return false;
+    finish(inflight_.begin(), true);
+    return true;
+  }
+
+  bool idle() const { return inflight_.empty() && waiting_.empty(); }
+  bool inflight_empty_but_waiting() const {
+    return inflight_.empty() && !waiting_.empty();
+  }
+  const std::vector<AdmissionRecord>& trace() const { return trace_; }
+  const SchedulerStats& stats() const { return stats_; }
+  std::uint64_t launched() const { return launched_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t abandoned() const { return abandoned_; }
+
+ private:
+  enum class ParkState { kReady, kLink, kBudget };
+  struct Entry {
+    std::uint64_t seq = 0;
+    std::uint64_t tag = 0;
+    ProbeClass cls = ProbeClass::kNormal;
+    double offered = 0.0;
+    std::vector<LinkKey> fp;
+    std::int64_t enqueued_ns = 0;
+    ParkState park = ParkState::kReady;
+    LinkKey park_key = 0;
+    LinkKey woken_from = 0;  // freed link whose wake this entry carries
+    bool woken = false;
+  };
+  struct InFlight {
+    std::uint64_t launch_id = 0;  // submission order, mirrors the SUT map
+    double offered = 0.0;
+    std::vector<LinkKey> fp;
+    std::uint32_t lane = 0;
+  };
+
+  double ceiling() const { return cfg_.budget_bps * (1.0 + kBudgetSlack); }
+
+  // Gate test identical to the SUT's: budget (committed only; no live
+  // probe in the model streams), then first busy link in route order.
+  enum class Gate { kPass, kBudget, kLink };
+  Gate gates(const Entry& e, LinkKey* blocked) const {
+    if (cfg_.budget_bps > 0.0 && e.offered > 0.0 &&
+        committed_ + e.offered > ceiling()) {
+      return Gate::kBudget;
+    }
+    if (cfg_.link_disjoint) {
+      for (LinkKey key : e.fp) {
+        auto it = busy_.find(key);
+        if (it != busy_.end() && it->second > 0) {
+          *blocked = key;
+          return Gate::kLink;
+        }
+      }
+    }
+    return Gate::kPass;
+  }
+
+  Entry* pick() {
+    const bool idle_sched = inflight_.empty();
+    Entry* best = nullptr;
+    std::int64_t best_score = 0;
+    bool best_starving = false;
+    for (std::size_t cls = 0; cls < core::kProbeClassCount; ++cls) {
+      Entry* cand = nullptr;
+      for (Entry& e : waiting_) {  // seq order: the full scan
+        if (static_cast<std::size_t>(e.cls) != cls) continue;
+        if (idle_sched) {  // progress guarantee: no gates, no counters
+          cand = &e;
+          break;
+        }
+        LinkKey blocked = 0;
+        const Gate g = gates(e, &blocked);
+        if (g == Gate::kPass) {
+          cand = &e;
+          break;
+        }
+        if (e.park == ParkState::kReady) {  // blocking transition: count
+          if (e.woken) {
+            ++stats_.futile_wakeups;
+            e.woken = false;
+          }
+          const LinkKey baton = e.woken_from;
+          e.woken_from = 0;
+          if (g == Gate::kBudget) {
+            ++stats_.deferred_budget;
+            e.park = ParkState::kBudget;
+          } else {
+            ++stats_.deferred_disjoint;
+            e.park = ParkState::kLink;
+            e.park_key = blocked;
+          }
+          // Baton handoff, mirrored: a carried wake whose entry re-parked
+          // passes to the freed link's next waiter of the same class.
+          if (baton != 0) wake_next_on(baton, cls);
+        }
+      }
+      if (cand == nullptr) continue;
+      const std::int64_t wait =
+          now_ > cand->enqueued_ns ? now_ - cand->enqueued_ns : 0;
+      std::int64_t score = static_cast<std::int64_t>(cls) * 8;
+      if (cfg_.aging_quantum_ns > 0) score += wait / cfg_.aging_quantum_ns;
+      const bool starving = cfg_.starvation_limit_ns > 0 &&
+                            wait >= cfg_.starvation_limit_ns;
+      const bool wins =
+          best == nullptr ||
+          (starving != best_starving
+               ? starving
+               : (starving ? (cand->enqueued_ns != best->enqueued_ns
+                                  ? cand->enqueued_ns < best->enqueued_ns
+                                  : cand->seq < best->seq)
+                           : (score != best_score ? score > best_score
+                                                  : cand->seq < best->seq)));
+      if (wins) {
+        best = cand;
+        best_score = score;
+        best_starving = starving;
+      }
+    }
+    if (best != nullptr && best_starving) ++stats_.starvation_picks;
+    return best;
+  }
+
+  void admit(Entry* e) {
+    InFlight f;
+    f.launch_id = launch_ids_++;
+    f.offered = e->offered;
+    f.fp = e->fp;
+    if (!free_lanes_.empty()) {
+      f.lane = *free_lanes_.begin();
+      free_lanes_.erase(free_lanes_.begin());
+    } else {
+      f.lane = lane_high_++;
+    }
+    const Entry admitted = *e;
+    for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+      if (it->seq == admitted.seq) {
+        waiting_.erase(it);
+        break;
+      }
+    }
+    for (const Entry& other : waiting_) {
+      if (other.seq < admitted.seq) {
+        ++stats_.priority_inversions;
+        break;
+      }
+    }
+    ++launched_;
+    ++stats_.admitted;
+    committed_ += admitted.offered;
+    for (LinkKey key : admitted.fp) ++busy_[key];
+    inflight_.emplace(admitted.seq, std::move(f));
+    trace_.push_back(AdmissionRecord{
+        static_cast<std::uint64_t>(trace_.size()), now_, admitted.seq,
+        admitted.tag, admitted.cls, admitted.offered,
+        static_cast<std::uint32_t>(inflight_.size()),
+        inflight_.at(admitted.seq).lane});
+  }
+
+  void finish(std::map<std::uint64_t, InFlight>::iterator it, bool invoked) {
+    const InFlight f = std::move(it->second);
+    inflight_.erase(it);
+    if (invoked) {
+      ++completed_;
+    } else {
+      ++abandoned_;
+    }
+    committed_ -= f.offered;
+    if (inflight_.empty() || committed_ < 0.0) committed_ = 0.0;
+    free_lanes_.insert(f.lane);
+    // Incremental wake, mirrored: a freed link wakes only its lowest-seq
+    // waiter per class; the rest wait for the baton.
+    for (LinkKey key : f.fp) {
+      auto b = busy_.find(key);
+      if (b == busy_.end()) continue;
+      if (--b->second == 0) {
+        busy_.erase(b);
+        for (std::size_t cls = 0; cls < core::kProbeClassCount; ++cls) {
+          wake_next_on(key, cls);
+        }
+      }
+    }
+    // Budget watermark: everything whose offered load now fits.
+    if (cfg_.budget_bps > 0.0 && f.offered > 0.0) {
+      const double headroom = ceiling() - committed_;
+      for (Entry& e : waiting_) {
+        if (e.park == ParkState::kBudget && e.offered <= headroom) {
+          wake(e, 0);
+        }
+      }
+    }
+    pump();
+  }
+
+  void wake(Entry& e, LinkKey from) {
+    e.park = ParkState::kReady;
+    e.park_key = 0;
+    e.woken_from = from;
+    e.woken = true;
+    ++stats_.wake_tests;
+  }
+
+  // Wake the lowest-seq entry of `cls` parked on `key`, if the key is
+  // (still) free. waiting_ is in seq order, so the first match is the
+  // minimum — the only waiter of its class that can become the candidate.
+  void wake_next_on(LinkKey key, std::size_t cls) {
+    auto b = busy_.find(key);
+    if (b != busy_.end() && b->second > 0) return;
+    for (Entry& e : waiting_) {
+      if (e.park == ParkState::kLink && e.park_key == key &&
+          static_cast<std::size_t>(e.cls) == cls) {
+        wake(e, key);
+        return;
+      }
+    }
+  }
+
+  void pump() {
+    while (inflight_.size() < cfg_.lanes && !waiting_.empty()) {
+      Entry* e = pick();
+      if (e == nullptr) break;
+      admit(e);
+    }
+  }
+
+  // Keyed by submission seq; iteration order == submission order, matching
+  // the SUT driver's running map, so the same selector picks the same task.
+  SchedulerConfig cfg_;
+  std::int64_t now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t launch_ids_ = 0;
+  std::vector<Entry> waiting_;  // seq order (append-only at the back)
+  std::map<std::uint64_t, InFlight> inflight_;
+  std::unordered_map<LinkKey, int> busy_;
+  std::set<std::uint32_t> free_lanes_;
+  std::uint32_t lane_high_ = 0;
+  double committed_ = 0.0;
+  std::uint64_t launched_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t abandoned_ = 0;
+  SchedulerStats stats_;
+  std::vector<AdmissionRecord> trace_;
+};
+
+SutResult run_reference(const SchedulerConfig& cfg,
+                        const std::vector<Op>& ops) {
+  ScanScheduler sched(cfg);
+  std::int64_t now = 0;
+  for (const Op& op : ops) {
+    now += op.dt_ns;
+    sched.set_now(now);
+    switch (op.kind) {
+      case Op::kSubmit:
+        sched.submit(op.profile);
+        break;
+      case Op::kComplete:
+        sched.settle(op.selector, true);
+        break;
+      case Op::kAbandon:
+        sched.settle(op.selector, false);
+        break;
+    }
+  }
+  while (!sched.idle()) {
+    now += kMs;
+    sched.set_now(now);
+    EXPECT_TRUE(sched.drain_one()) << "reference stuck with queued work";
+    if (sched.inflight_empty_but_waiting()) break;
+  }
+
+  SutResult r;
+  r.trace = sched.trace();
+  r.stats = sched.stats();
+  r.launched = sched.launched();
+  r.completed = sched.completed();
+  r.abandoned = sched.abandoned();
+  return r;
+}
+
+void expect_equivalent(const SchedulerConfig& cfg, std::uint64_t seed,
+                       const StreamShape& shape) {
+  const std::vector<Op> ops = make_ops(seed, shape);
+  const SutResult sut = run_sut(cfg, ops);
+  const SutResult ref = run_reference(cfg, ops);
+
+  ASSERT_EQ(sut.trace.size(), ref.trace.size());
+  for (std::size_t i = 0; i < sut.trace.size(); ++i) {
+    const AdmissionRecord& a = sut.trace[i];
+    const AdmissionRecord& b = ref.trace[i];
+    ASSERT_EQ(a.admit_seq, b.admit_seq) << "at admission " << i;
+    ASSERT_EQ(a.at_ns, b.at_ns) << "at admission " << i;
+    ASSERT_EQ(a.entry_seq, b.entry_seq) << "at admission " << i;
+    ASSERT_EQ(a.tag, b.tag) << "at admission " << i;
+    ASSERT_EQ(a.priority, b.priority) << "at admission " << i;
+    ASSERT_EQ(a.offered_bps, b.offered_bps) << "at admission " << i;
+    ASSERT_EQ(a.in_flight_after, b.in_flight_after) << "at admission " << i;
+    ASSERT_EQ(a.lane, b.lane) << "at admission " << i;
+  }
+  EXPECT_EQ(sut.launched, ref.launched);
+  EXPECT_EQ(sut.completed, ref.completed);
+  EXPECT_EQ(sut.abandoned, ref.abandoned);
+  EXPECT_TRUE(sut.stats == ref.stats)
+      << "admitted " << sut.stats.admitted << "/" << ref.stats.admitted
+      << " deferred_budget " << sut.stats.deferred_budget << "/"
+      << ref.stats.deferred_budget << " deferred_disjoint "
+      << sut.stats.deferred_disjoint << "/" << ref.stats.deferred_disjoint
+      << " starvation " << sut.stats.starvation_picks << "/"
+      << ref.stats.starvation_picks << " inversions "
+      << sut.stats.priority_inversions << "/"
+      << ref.stats.priority_inversions << " wake_tests "
+      << sut.stats.wake_tests << "/" << ref.stats.wake_tests
+      << " futile " << sut.stats.futile_wakeups << "/"
+      << ref.stats.futile_wakeups;
+  // The streams genuinely exercised the machinery under test.
+  EXPECT_GT(sut.stats.deferred_disjoint, 0u);
+  EXPECT_GT(sut.stats.wake_tests, 0u);
+}
+
+TEST(SchedulerModel, IndexedGateMatchesFullScanUnderBudgetAndStarvation) {
+  SchedulerConfig cfg;
+  cfg.lanes = 4;
+  cfg.budget_bps = 120.0;
+  cfg.link_disjoint = true;
+  cfg.aging_quantum_ns = 50 * kMs;
+  cfg.starvation_limit_ns = 300 * kMs;
+
+  StreamShape shape;
+  shape.ops = 50'000;
+  shape.link_keys = 48;
+  shape.max_footprint = 3;
+  shape.max_offered = 60.0;
+
+  expect_equivalent(cfg, 0xA11CEull, shape);
+}
+
+TEST(SchedulerModel, IndexedGateMatchesFullScanUnderHeavyLinkContention) {
+  SchedulerConfig cfg;
+  cfg.lanes = 8;
+  cfg.budget_bps = 500.0;
+  cfg.link_disjoint = true;
+  cfg.aging_quantum_ns = 20 * kMs;
+  cfg.starvation_limit_ns = 0;  // pure aging, no hard bound
+
+  StreamShape shape;
+  shape.ops = 50'000;
+  shape.link_keys = 12;  // 8 lanes over 12 keys: most entries park
+  shape.max_footprint = 3;
+  shape.max_offered = 200.0;
+  // Probes wider than the whole budget are admissible only through the
+  // idle-scheduler progress guarantee — the watermark must never wake them
+  // and the idle path must still drain them.
+  shape.oversized_share = 0.01;
+  shape.oversized_bps = 600.0;
+
+  expect_equivalent(cfg, 0xB0Bull, shape);
+}
+
+// ---------------------------------------------------------------------------
+// Property/fuzz harness: random interleavings against the self-checking
+// invariants. check_consistency() proves after every operation that the
+// occupancy index equals the multiset union of in-flight footprints, that
+// waiter lists carry no stale entries, that every budget-parked entry
+// genuinely exceeds the watermark, and that no ready entry lost its heap
+// reference; the harness adds the progress guarantee (queued work implies
+// a non-idle scheduler) and exact lane accounting on top.
+
+TEST(SchedulerFuzz, OccupancyIndexInvariantsHoldUnderRandomInterleavings) {
+  util::Rng rng(0xF0CC5ull);
+  for (int round = 0; round < 12; ++round) {
+    SchedulerConfig cfg;
+    cfg.lanes = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    cfg.budget_bps = rng.bernoulli(0.7) ? rng.uniform(50.0, 300.0) : 0.0;
+    cfg.link_disjoint = rng.bernoulli(0.85);
+    cfg.aging_quantum_ns = rng.bernoulli(0.5) ? 20 * kMs : 0;
+    cfg.starvation_limit_ns = rng.bernoulli(0.5) ? 200 * kMs : 0;
+    const int keys = static_cast<int>(rng.uniform_int(4, 32));
+
+    LaneScheduler sched(cfg);
+    std::int64_t now = 0;
+    sched.set_clock([&now] { return now; });
+
+    std::map<std::uint64_t, LaneScheduler::Done> running;
+    std::uint64_t id = 0;
+    std::uint64_t submitted = 0;
+    for (int op = 0; op < 2500; ++op) {
+      now += rng.uniform_int(0, 2) * kMs;
+      const double roll = rng.uniform();
+      if (roll < 0.48) {
+        ProbeProfile p;
+        p.priority = static_cast<ProbeClass>(rng.uniform_int(0, 2));
+        p.tag = id % 7;  // small tag space so reprioritize hits batches
+        if (rng.bernoulli(0.8)) p.offered_bps = rng.uniform(1.0, 120.0);
+        if (rng.bernoulli(0.02)) p.offered_bps = 500.0;  // oversized
+        const int fp = static_cast<int>(rng.uniform_int(0, 4));
+        for (int k = 0; k < fp; ++k) {
+          p.footprint.push_back(
+              static_cast<LinkKey>(rng.uniform_int(1, keys)));
+        }
+        const std::uint64_t this_id = id++;
+        ++submitted;
+        sched.enqueue(
+            [&running, this_id](LaneScheduler::Done done) {
+              running.emplace(this_id, std::move(done));
+            },
+            p);
+      } else if (roll < 0.78) {
+        if (!running.empty()) {
+          auto it = running.begin();
+          std::advance(it, static_cast<long>(
+                               rng.next() % running.size()));
+          auto done = std::move(it->second);
+          running.erase(it);
+          done();
+          if (rng.bernoulli(0.1)) done();  // double-done: counted no-op
+        }
+      } else if (roll < 0.86) {
+        if (!running.empty()) {
+          auto it = running.begin();
+          std::advance(it, static_cast<long>(
+                               rng.next() % running.size()));
+          running.erase(it);  // abandon: Done destroyed uncalled
+        }
+      } else if (roll < 0.93) {
+        sched.reprioritize(rng.next() % 7,
+                           static_cast<ProbeClass>(rng.uniform_int(0, 2)));
+      } else {
+        SchedulerConfig next = cfg;
+        next.lanes = static_cast<std::size_t>(rng.uniform_int(1, 6));
+        next.budget_bps =
+            rng.bernoulli(0.7) ? rng.uniform(50.0, 300.0) : 0.0;
+        sched.configure(next);
+        cfg = next;
+      }
+      sched.check_consistency();
+      // Progress guarantee: queued work and an idle scheduler never coexist
+      // after an operation settles — the idle pick admits unconditionally.
+      EXPECT_FALSE(sched.in_flight() == 0 && sched.queued() > 0)
+          << "idle scheduler left work queued (round " << round << " op "
+          << op << ")";
+      EXPECT_EQ(sched.in_flight(), running.size());
+      EXPECT_EQ(sched.launched() + sched.queued(), submitted);
+    }
+    // Drain; everything must account as completed or abandoned.
+    while (!running.empty()) {
+      now += kMs;
+      auto it = running.begin();
+      auto done = std::move(it->second);
+      running.erase(it);
+      done();
+      sched.check_consistency();
+    }
+    EXPECT_TRUE(sched.idle()) << "round " << round;
+    EXPECT_EQ(sched.completed() + sched.abandoned(), submitted);
+    EXPECT_EQ(sched.busy_links(), 0u);
+    EXPECT_EQ(sched.parked_on_links(), 0u);
+    EXPECT_EQ(sched.parked_on_budget(), 0u);
+    EXPECT_EQ(sched.committed_bps(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace netmon

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <unordered_set>
 #include <vector>
 
@@ -489,6 +490,151 @@ TEST(FabricScheduling, MeteredPeakStaysUnderBudgetAndTraceIsDeterministic) {
   // (4) same seed => identical admission trace.
   const FabricRun second = run_budgeted_fabric(11, budget, probe);
   EXPECT_TRUE(traces_equal(first.trace, second.trace));
+}
+
+// -------------------------------------------------------------------------
+// Incremental wake-up vs the ranking policy (DESIGN.md §15): waking an
+// entry must restore it to ready *order*, never hand it the lane directly.
+// These pin the promotion rules down at the single-admission level.
+
+// Tiny harness: manual clock, Dones parked by tag so the test controls
+// exactly when each lane frees.
+struct WakeHarness {
+  LaneScheduler sched;
+  std::int64_t now = 0;
+  std::map<std::uint64_t, LaneScheduler::Done> running;
+
+  explicit WakeHarness(const SchedulerConfig& cfg) : sched(cfg) {
+    sched.set_clock([this] { return now; });
+    sched.record_admissions(64);
+  }
+  void enqueue(std::uint64_t tag, ProbeClass cls,
+               std::vector<LinkKey> footprint) {
+    ProbeProfile p;
+    p.tag = tag;
+    p.priority = cls;
+    p.footprint = std::move(footprint);
+    sched.enqueue(
+        [this, tag](LaneScheduler::Done done) {
+          running.emplace(tag, std::move(done));
+        },
+        p);
+  }
+  void complete(std::uint64_t tag) {
+    auto it = running.find(tag);
+    ASSERT_NE(it, running.end()) << "tag " << tag << " not in flight";
+    auto done = std::move(it->second);
+    running.erase(it);
+    done();
+  }
+  std::vector<std::uint64_t> admitted_tags() const {
+    std::vector<std::uint64_t> tags;
+    for (const AdmissionRecord& r : sched.admissions()) {
+      tags.push_back(r.tag);
+    }
+    return tags;
+  }
+};
+
+TEST(IncrementalWakeup, WakeOrderNeverPromotesPastBlockedCritical) {
+  SchedulerConfig cfg;
+  cfg.lanes = 2;
+  cfg.link_disjoint = true;
+  WakeHarness h(cfg);
+  const LinkKey kTrunk = 7;
+
+  h.enqueue(0, ProbeClass::kNormal, {kTrunk});      // admitted, holds trunk
+  h.enqueue(1, ProbeClass::kBackground, {kTrunk});  // parks on trunk
+  h.enqueue(2, ProbeClass::kCritical, {kTrunk});    // parks on trunk
+  EXPECT_EQ(h.sched.in_flight(), 1u);
+  EXPECT_EQ(h.sched.parked_on_links(), 2u);
+  h.sched.check_consistency();
+
+  // Freeing the trunk wakes BOTH waiters; the critical entry must win the
+  // lane even though the background one is older and woke in the same
+  // pass — promotion by class rank, never by wake-order accident. The
+  // loser re-tests, fails against the new holder, and re-parks: exactly
+  // one futile wakeup.
+  h.complete(0);
+  ASSERT_EQ(h.sched.in_flight(), 1u);
+  EXPECT_EQ(h.admitted_tags(), (std::vector<std::uint64_t>{0, 2}));
+  EXPECT_EQ(h.sched.scheduler_stats().wake_tests, 2u);
+  EXPECT_EQ(h.sched.scheduler_stats().futile_wakeups, 1u);
+  EXPECT_EQ(h.sched.parked_on_links(), 1u);
+  // Admitting critical over the older background entry is a (counted)
+  // priority inversion of plain FIFO order.
+  EXPECT_EQ(h.sched.scheduler_stats().priority_inversions, 1u);
+  h.sched.check_consistency();
+
+  h.complete(2);
+  EXPECT_EQ(h.admitted_tags(), (std::vector<std::uint64_t>{0, 2, 1}));
+  EXPECT_EQ(h.sched.scheduler_stats().wake_tests, 3u);
+  EXPECT_EQ(h.sched.scheduler_stats().deferred_disjoint, 3u);
+  h.complete(1);
+  EXPECT_TRUE(h.sched.idle());
+  h.sched.check_consistency();
+}
+
+TEST(IncrementalWakeup, BackgroundBeatsFreshCriticalOnlyViaStarvationBound) {
+  for (const bool bounded : {true, false}) {
+    SchedulerConfig cfg;
+    cfg.lanes = 1;
+    cfg.starvation_limit_ns = bounded ? 100 * 1'000'000 : 0;
+    WakeHarness h(cfg);
+
+    h.enqueue(0, ProbeClass::kNormal, {});      // occupies the single lane
+    h.enqueue(1, ProbeClass::kBackground, {});  // waits from t = 0
+    h.now = 150 * 1'000'000;                    // background now starving
+    h.enqueue(2, ProbeClass::kCritical, {});    // fresh
+    h.complete(0);
+
+    if (bounded) {
+      // Past the hard bound the oldest entry front-runs any class.
+      EXPECT_EQ(h.admitted_tags(), (std::vector<std::uint64_t>{0, 1}));
+      EXPECT_EQ(h.sched.scheduler_stats().starvation_picks, 1u);
+    } else {
+      // Without the bound (and below the aging crossover) class order
+      // holds: background is never promoted by queue position alone.
+      EXPECT_EQ(h.admitted_tags(), (std::vector<std::uint64_t>{0, 2}));
+      EXPECT_EQ(h.sched.scheduler_stats().starvation_picks, 0u);
+    }
+    h.complete(bounded ? 1 : 2);
+    h.complete(bounded ? 2 : 1);
+    EXPECT_TRUE(h.sched.idle());
+    h.sched.check_consistency();
+  }
+}
+
+TEST(IncrementalWakeup, AgingPromotesBackgroundExactlyAtTheQuantaCrossover) {
+  // class gap = 2 classes · 8 quanta = 16 quanta of waiting. One quantum
+  // under, critical still wins; at the crossover the tie breaks FIFO and
+  // the aged background entry goes first.
+  for (const std::int64_t release_ms : {155, 165}) {
+    SchedulerConfig cfg;
+    cfg.lanes = 1;
+    cfg.aging_quantum_ns = 10 * 1'000'000;
+    WakeHarness h(cfg);
+
+    h.enqueue(0, ProbeClass::kNormal, {});
+    h.enqueue(1, ProbeClass::kBackground, {});  // ages from t = 0
+    h.now = release_ms * 1'000'000;
+    h.enqueue(2, ProbeClass::kCritical, {});  // fresh: score 16
+    h.complete(0);
+
+    const std::vector<std::uint64_t> expect =
+        release_ms < 160 ? std::vector<std::uint64_t>{0, 2}
+                         : std::vector<std::uint64_t>{0, 1};
+    EXPECT_EQ(h.admitted_tags(), expect) << "release at " << release_ms;
+    h.complete(h.admitted_tags().back());
+    while (!h.running.empty()) {
+      auto it = h.running.begin();
+      auto done = std::move(it->second);
+      h.running.erase(it);
+      done();
+    }
+    EXPECT_TRUE(h.sched.idle());
+    h.sched.check_consistency();
+  }
 }
 
 }  // namespace
